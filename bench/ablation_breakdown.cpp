@@ -1,0 +1,66 @@
+// Ablation A3 — latency breakdown: where does each priority class's time go?
+//
+// Runs the default workload at the capacity knee with and without the
+// priority machinery and decomposes end-to-end latency into the pipeline
+// phases.  The point: the entire differentiation happens in the *ordering*
+// phase (queueing + weighted-fair block formation); endorsement, validation
+// and notification are class-blind, exactly as the paper's design intends.
+#include "fig_common.h"
+
+namespace {
+
+void print_breakdown(const char* title, const fl::core::MetricsCollector& metrics) {
+    using namespace fl;
+    std::cout << title << "\n";
+    harness::Table table({"priority", "endorse (s)", "ordering (s)",
+                          "validate (s)", "notify (s)", "total (s)"});
+    for (const auto& [level, phases] : metrics.phases_by_priority()) {
+        const double total = phases.endorsement.mean() + phases.ordering.mean() +
+                             phases.validation.mean() +
+                             phases.notification.mean();
+        table.add_row({level == kUnassignedPriority ? "n/a" : std::to_string(level),
+                       harness::fmt(phases.endorsement.mean(), 3),
+                       harness::fmt(phases.ordering.mean(), 3),
+                       harness::fmt(phases.validation.mean(), 3),
+                       harness::fmt(phases.notification.mean(), 3),
+                       harness::fmt(total, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+fl::core::MetricsCollector run(bool priority_enabled, std::uint64_t total_txs) {
+    using namespace fl;
+    auto cfg = bench::paper_config(priority_enabled);
+    cfg.seed = 12345;
+    core::FabricNetwork net(cfg);
+    core::MetricsCollector metrics;
+    net.set_tx_sink([&metrics](const client::TxRecord& r) { metrics.record(r); });
+    harness::WorkloadDriver driver(net, bench::paper_workload(3, 500.0, total_txs),
+                                   Rng(2));
+    driver.start();
+    net.run();
+    return metrics;
+}
+
+}  // namespace
+
+int main() {
+    using namespace fl;
+
+    const std::uint64_t total_txs = harness::total_txs_from_env(15'000);
+    harness::print_banner(std::cout, "Ablation A3: latency breakdown by phase",
+                          "500 tps (capacity knee), policy 2:3:1, arrivals 1:2:1");
+
+    const auto with = run(true, total_txs);
+    const auto without = run(false, total_txs);
+
+    print_breakdown("with priority (multi-queue WFQ ordering):", with);
+    print_breakdown("without priority (vanilla FIFO ordering):", without);
+
+    std::cout << "The endorsement/validation/notification phases are nearly "
+                 "identical across\nclasses and modes; the ordering phase is where "
+                 "the weighted fair queueing\nredistributes waiting time from high "
+                 "to low priority classes.\n";
+    return 0;
+}

@@ -1,0 +1,94 @@
+// Ablation A1 — how closely does the paper's block-quota scheduling track
+// ideal weighted fair queueing?
+//
+// We feed the identical arrival sequence to three disciplines:
+//   * SFQ (packet-granularity weighted fair queueing, the Demers et al.
+//     reference the paper builds on),
+//   * WRR/DRR with per-round quanta equal to the block quotas (what the
+//     Multi-Queue Block Generator does at block granularity),
+//   * FIFO (vanilla Fabric).
+// and report each class's service share over a fully-backlogged window plus
+// the worst-case normalized-service gap (the WFQ fairness metric).
+#include <iostream>
+
+#include "common/rng.h"
+#include "harness/report.h"
+#include "policy/block_formation_policy.h"
+#include "wfq/wfq.h"
+
+int main() {
+    using namespace fl;
+
+    const std::vector<std::uint32_t> weights = {2, 3, 1};
+    const policy::BlockFormationPolicy policy(weights);
+    const auto fractions = policy.fractions();
+    const std::size_t kBacklog = 30'000;  // per class
+    const std::size_t kServe = 45'000;
+
+    harness::print_banner(std::cout,
+                          "Ablation A1: block-quota WFQ vs ideal WFQ vs FIFO",
+                          "policy 2:3:1, fully backlogged classes, unit cost");
+
+    wfq::WfqScheduler<int> sfq({2.0, 3.0, 1.0});
+    // Quantum per round = per-block quota (block size 500).
+    const auto quotas = policy.quotas(500);
+    wfq::WrrScheduler<int> wrr(
+        {static_cast<double>(quotas[0]), static_cast<double>(quotas[1]),
+         static_cast<double>(quotas[2])},
+        /*base_quantum=*/1.0);
+    wfq::FifoScheduler<int> fifo;
+
+    Rng rng(2024);
+    for (std::size_t i = 0; i < kBacklog; ++i) {
+        for (std::size_t flow = 0; flow < 3; ++flow) {
+            sfq.enqueue(flow, 1.0, static_cast<int>(i));
+            wrr.enqueue(flow, 1.0, static_cast<int>(i));
+            fifo.enqueue(flow, 1.0, static_cast<int>(i));
+        }
+    }
+
+    std::vector<std::array<double, 3>> served(3, {0, 0, 0});
+    std::vector<double> worst_gap(3, 0.0);
+    const double wsum = 6.0;
+    const std::array<double, 3> w = {2.0, 3.0, 1.0};
+
+    for (std::size_t step = 1; step <= kServe; ++step) {
+        const auto a = sfq.dequeue();
+        const auto b = wrr.dequeue();
+        const auto c = fifo.dequeue();
+        served[0][a->flow] += 1.0;
+        served[1][b->flow] += 1.0;
+        served[2][c->flow] += 1.0;
+        // Track max pairwise normalized-service gap for the two fair ones.
+        for (int d = 0; d < 2; ++d) {
+            for (std::size_t i = 0; i < 3; ++i) {
+                for (std::size_t j = i + 1; j < 3; ++j) {
+                    const double gap =
+                        std::abs(served[d][i] / w[i] - served[d][j] / w[j]);
+                    worst_gap[d] = std::max(worst_gap[d], gap);
+                }
+            }
+        }
+    }
+
+    harness::Table table({"discipline", "share hi", "share med", "share lo",
+                          "ideal", "worst norm gap (pkts)"});
+    const char* names[3] = {"SFQ (ideal WFQ)", "block-quota WRR", "FIFO"};
+    for (int d = 0; d < 3; ++d) {
+        const double total = served[d][0] + served[d][1] + served[d][2];
+        table.add_row(
+            {names[d], harness::fmt(served[d][0] / total, 4),
+             harness::fmt(served[d][1] / total, 4),
+             harness::fmt(served[d][2] / total, 4),
+             harness::fmt(fractions[0], 4) + "/" + harness::fmt(fractions[1], 4) +
+                 "/" + harness::fmt(fractions[2], 4),
+             d < 2 ? harness::fmt(worst_gap[d], 1) : std::string("unbounded")});
+    }
+    table.print(std::cout);
+    std::cout << "\nSFQ bounds the normalized-service gap by ~one packet per unit "
+                 "weight;\nthe block-quota scheduler matches the weighted shares "
+                 "exactly over whole\nblocks but allows gaps up to one block quota "
+                 "within a block — the paper's\ngranularity trade-off.  FIFO gives "
+                 "every class its *arrival* share instead\n(no isolation).\n";
+    return 0;
+}

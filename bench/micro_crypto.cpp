@@ -1,0 +1,71 @@
+// Microbenchmarks M1 — crypto substrate: SHA-256, HMAC, Merkle trees,
+// simulated signatures.  These set the constant factors behind every
+// endorsement/validation in the simulation.
+#include <benchmark/benchmark.h>
+
+#include "crypto/hmac.h"
+#include "crypto/merkle.h"
+#include "crypto/signature.h"
+
+namespace {
+
+using namespace fl;
+using namespace fl::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+    const Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sha256(BytesView(data.data(), data.size())));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+    const Bytes key(32, 0x11);
+    const Bytes msg(static_cast<std::size_t>(state.range(0)), 0x22);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hmac_sha256(BytesView(key.data(), key.size()),
+                                             BytesView(msg.data(), msg.size())));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(256)->Arg(1024);
+
+void BM_MerkleRoot(benchmark::State& state) {
+    std::vector<Digest> leaves;
+    for (int i = 0; i < state.range(0); ++i) {
+        leaves.push_back(sha256("leaf" + std::to_string(i)));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(merkle_root(leaves));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MerkleRoot)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_MerkleProofVerify(benchmark::State& state) {
+    std::vector<Digest> leaves;
+    for (int i = 0; i < 500; ++i) {
+        leaves.push_back(sha256("leaf" + std::to_string(i)));
+    }
+    const Digest root = merkle_root(leaves);
+    const auto proof = merkle_proof(leaves, 250);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(verify_proof(leaves[250], *proof, root));
+    }
+}
+BENCHMARK(BM_MerkleProofVerify);
+
+void BM_SignVerify(benchmark::State& state) {
+    KeyStore ks;
+    ks.register_identity({"org0.peer0", OrgId{0}});
+    const Bytes msg(512, 0x33);
+    const Signature sig = ks.sign("org0.peer0", BytesView(msg.data(), msg.size()));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ks.verify(sig, BytesView(msg.data(), msg.size())));
+    }
+}
+BENCHMARK(BM_SignVerify);
+
+}  // namespace

@@ -1,0 +1,46 @@
+// Microbenchmarks M6 — scheduler disciplines: enqueue/dequeue cost of SFQ,
+// DRR/WRR and FIFO at various flow counts.
+#include <benchmark/benchmark.h>
+
+#include "wfq/wfq.h"
+
+namespace {
+
+using namespace fl;
+
+template <typename Scheduler>
+void pump(Scheduler& s, benchmark::State& state, std::size_t flows) {
+    std::size_t i = 0;
+    for (auto _ : state) {
+        s.enqueue(i % flows, 1.0, static_cast<int>(i));
+        ++i;
+        if (i % 4 == 0) {
+            for (int k = 0; k < 4; ++k) {
+                benchmark::DoNotOptimize(s.dequeue());
+            }
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+
+void BM_SfqScheduler(benchmark::State& state) {
+    const auto flows = static_cast<std::size_t>(state.range(0));
+    wfq::WfqScheduler<int> s(std::vector<double>(flows, 1.0));
+    pump(s, state, flows);
+}
+BENCHMARK(BM_SfqScheduler)->Arg(3)->Arg(16)->Arg(64);
+
+void BM_WrrScheduler(benchmark::State& state) {
+    const auto flows = static_cast<std::size_t>(state.range(0));
+    wfq::WrrScheduler<int> s(std::vector<double>(flows, 1.0), 4.0);
+    pump(s, state, flows);
+}
+BENCHMARK(BM_WrrScheduler)->Arg(3)->Arg(16)->Arg(64);
+
+void BM_FifoScheduler(benchmark::State& state) {
+    wfq::FifoScheduler<int> s;
+    pump(s, state, 3);
+}
+BENCHMARK(BM_FifoScheduler);
+
+}  // namespace

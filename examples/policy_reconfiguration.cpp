@@ -1,0 +1,91 @@
+// Online reconfiguration of the block formation policy (paper §3.3).
+//
+// The paper motivates changing the policy during channel operation — "the
+// system designer realizes that the block formation policy defined at the
+// beginning is not the best policy for the system" — but left it out of the
+// prototype.  This example implements the scenario end to end: a channel
+// starts with an equal-shares policy, high-priority latency degrades under
+// load, the operator submits a channel configuration transaction, and every
+// OSN switches to the new policy at the same block boundary.
+//
+//   $ ./build/examples/policy_reconfiguration
+#include <iostream>
+
+#include "core/fabric_network.h"
+#include "harness/report.h"
+#include "harness/workload.h"
+
+int main() {
+    using namespace fl;
+
+    harness::print_banner(std::cout,
+                          "Online block-formation-policy reconfiguration",
+                          "mismatched 3:1:1 corrected to 1:2:1 at t=15s under load");
+
+    core::NetworkConfig cfg;
+    cfg.orgs = 4;
+    cfg.osns = 3;
+    cfg.clients = 3;
+    cfg.seed = 99;
+    cfg.channel.priority_enabled = true;
+    cfg.channel.block_policy = policy::BlockFormationPolicy::parse("3:1:1");
+    cfg.channel.block_size = 500;
+    cfg.channel.block_timeout = Duration::seconds(1);
+
+    core::FabricNetwork net(cfg);
+
+    // Bucket completions into before/after the reconfiguration.
+    const double switch_at_s = 15.0;
+    core::MetricsCollector before;
+    core::MetricsCollector after;
+    net.set_tx_sink([&](const client::TxRecord& r) {
+        (r.submitted_at.as_seconds() < switch_at_s ? before : after).record(r);
+    });
+
+    // Offered load: 480 tps (within capacity), arrival mix 1:2:1.
+    harness::Workload workload;
+    for (std::size_t c = 0; c < 3; ++c) {
+        harness::LoadSpec load;
+        load.client_index = c;
+        load.tps = 160.0;
+        load.generate = harness::priority_class_mix({1, 2, 1});
+        workload.loads.push_back(std::move(load));
+    }
+    workload.distribute_total(14'500);  // ~30 s of load
+    harness::WorkloadDriver driver(net, std::move(workload), Rng(3));
+    driver.start();
+
+    net.simulator().schedule_after(Duration::from_seconds(switch_at_s), [&net] {
+        std::cout << "t=15s: submitting channel config update -> policy 1:2:1\n";
+        net.update_block_policy(policy::BlockFormationPolicy::parse("1:2:1"));
+    });
+
+    net.run();
+
+    harness::Table table({"phase", "policy", "high avg (s)", "medium avg (s)",
+                          "low avg (s)"});
+    table.add_row({"before switch", "3:1:1",
+                   harness::fmt(before.avg_latency_for_priority(0), 2),
+                   harness::fmt(before.avg_latency_for_priority(1), 2),
+                   harness::fmt(before.avg_latency_for_priority(2), 2)});
+    table.add_row({"after switch", "1:2:1",
+                   harness::fmt(after.avg_latency_for_priority(0), 2),
+                   harness::fmt(after.avg_latency_for_priority(1), 2),
+                   harness::fmt(after.avg_latency_for_priority(2), 2)});
+    table.print(std::cout);
+
+    bool switched = true;
+    for (const auto& osn : net.osns()) {
+        switched = switched && osn->generator() != nullptr &&
+                   osn->generator()->config_updates_applied() == 1;
+    }
+    const bool consistent = net.osn_blocks_identical() && net.chains_identical();
+    std::cout << "\nall OSNs applied the update at the same boundary: "
+              << (switched ? "yes" : "NO") << "\nconsistency: "
+              << (consistent ? "ok" : "VIOLATED") << "\n";
+    std::cout << "(the initial 3:1:1 policy reserves 60% of each block for a class "
+                 "carrying only\n 25% of the traffic, starving medium/low; after the "
+                 "operator matches the policy\n to the 1:2:1 arrival mix, the backlog "
+                 "drains and all classes recover.)\n";
+    return switched && consistent ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+// Supply-chain scenario (the paper's §1 motivation): a consortium where
+// business-critical payment transactions share the blockchain with shipment
+// tracking and a flood of bulk record-keeping traffic.
+//
+// We run the same mixed workload twice — vanilla FIFO ordering vs the
+// paper's weighted-fair multi-queue ordering — and show how the payment
+// and shipment transactions fare when the record-keeping flood exceeds the
+// network's ordering capacity.
+//
+//   $ ./build/examples/supply_chain_priorities
+#include <iostream>
+
+#include "core/fabric_network.h"
+#include "harness/report.h"
+#include "harness/workload.h"
+
+namespace {
+
+struct ScenarioResult {
+    fl::core::MetricsCollector metrics;
+    bool consistent = false;
+};
+
+ScenarioResult run_scenario(bool priority_enabled) {
+    using namespace fl;
+
+    core::NetworkConfig cfg;
+    cfg.orgs = 4;  // manufacturer, logistics provider, retailer, financier
+    cfg.osns = 3;
+    cfg.clients = 3;
+    cfg.seed = 2018;
+    cfg.channel.priority_enabled = priority_enabled;
+    cfg.channel.priority_levels = 3;
+    cfg.channel.block_policy = policy::BlockFormationPolicy::parse("2:3:1");
+    cfg.channel.block_size = 200;
+    cfg.channel.block_timeout = Duration::millis(500);
+    // Ordering capacity ~260 tps for this smaller deployment.
+    cfg.osn_params.consume_per_record_cost = Duration::micros(3800);
+
+    core::FabricNetwork net(cfg);
+
+    ScenarioResult result;
+    net.set_tx_sink(
+        [&result](const client::TxRecord& r) { result.metrics.record(r); });
+
+    // Client 0: the financier — payments (asset_transfer, high priority).
+    // Client 1: the logistics provider — shipment updates (supply_chain).
+    // Client 2: a batch process flooding audit records (record_keeper).
+    harness::Workload workload;
+    const double rates[3] = {40.0, 80.0, 280.0};  // the flood dominates
+    const char* chaincodes[3] = {"asset_transfer", "supply_chain", "record_keeper"};
+    for (std::size_t c = 0; c < 3; ++c) {
+        harness::LoadSpec load;
+        load.client_index = c;
+        load.tps = rates[c];
+        load.generate = harness::single_chaincode(chaincodes[c]);
+        workload.loads.push_back(std::move(load));
+    }
+    workload.distribute_total(8000);
+
+    harness::WorkloadDriver driver(net, std::move(workload), Rng(7));
+    driver.start();
+    net.run();
+
+    result.consistent = net.chains_identical() && net.states_identical() &&
+                        net.osn_blocks_identical();
+    return result;
+}
+
+}  // namespace
+
+int main() {
+    using namespace fl;
+
+    harness::print_banner(
+        std::cout, "Supply-chain consortium under a record-keeping flood",
+        "payments 40 tps, shipments 80 tps, audit records 280 tps; "
+        "ordering capacity ~260 tps");
+
+    const ScenarioResult fifo = run_scenario(false);
+    const ScenarioResult fair = run_scenario(true);
+
+    harness::Table table({"workload (chaincode)", "FIFO avg (s)", "FIFO p95 (s)",
+                          "fair avg (s)", "fair p95 (s)"});
+    for (const char* cc : {"asset_transfer", "supply_chain", "record_keeper"}) {
+        const auto& f = fifo.metrics.by_chaincode();
+        const auto& p = fair.metrics.by_chaincode();
+        if (!f.contains(cc) || !p.contains(cc)) continue;
+        table.add_row({cc, harness::fmt(f.at(cc).mean(), 2),
+                       harness::fmt(f.at(cc).percentile(95), 2),
+                       harness::fmt(p.at(cc).mean(), 2),
+                       harness::fmt(p.at(cc).percentile(95), 2)});
+    }
+    table.print(std::cout);
+
+    const double payment_speedup =
+        fifo.metrics.by_chaincode().at("asset_transfer").mean() /
+        fair.metrics.by_chaincode().at("asset_transfer").mean();
+    std::cout << "\nWith FIFO ordering the flood delays business-critical payments; "
+              << "with the\npaper's weighted fair queueing, payments commit "
+              << harness::fmt(payment_speedup, 1)
+              << "x faster while the bulk\nrecords absorb the queueing.\n"
+              << "consistency: " << (fifo.consistent && fair.consistent ? "ok" : "VIOLATED")
+              << "\n";
+    return fifo.consistent && fair.consistent ? 0 : 1;
+}

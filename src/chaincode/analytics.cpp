@@ -1,0 +1,41 @@
+#include "chaincode/analytics.h"
+
+#include <charconv>
+
+namespace fl::chaincode {
+
+namespace {
+std::string point_prefix(const std::string& series) { return "an/" + series + "/p/"; }
+}  // namespace
+
+Response AnalyticsChaincode::invoke(TxContext& ctx, const std::string& function,
+                                    std::span<const std::string> args) {
+    if (function == "ingest") {
+        if (args.size() != 3) {
+            return Response::failure("ingest: want <series> <point_id> <value>");
+        }
+        ctx.put(point_prefix(args[0]) + args[1], args[2]);
+        return Response::success();
+    }
+    if (function == "report") {
+        if (args.size() != 2) return Response::failure("report: want <series> <report_id>");
+        const auto points = ctx.range(point_prefix(args[0]), point_prefix(args[0]) + "\x7f");
+        double sum = 0.0;
+        std::size_t n = 0;
+        for (const auto& [key, value] : points) {
+            double v = 0.0;
+            const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), v);
+            if (ec == std::errc{}) {
+                sum += v;
+                ++n;
+            }
+        }
+        const double avg = n > 0 ? sum / static_cast<double>(n) : 0.0;
+        ctx.put("an/" + args[0] + "/report/" + args[1],
+                "n=" + std::to_string(n) + ";avg=" + std::to_string(avg));
+        return Response::success();
+    }
+    return Response::failure("analytics: unknown function " + function);
+}
+
+}  // namespace fl::chaincode

@@ -1,0 +1,24 @@
+// Analytics chaincode — periodic report generation over a key range (the
+// "periodic generation of reports ... and analytics operations" of §1).
+// Read-heavy: scans a prefix, writes one summary key.  Its wide range reads
+// make it the most conflict-prone workload, which exercises the prioritized
+// validator.
+//
+// Functions:
+//   ingest <series> <point_id> <value>   — store a data point
+//   report <series> <report_id>          — scan the series, write a summary
+#pragma once
+
+#include "chaincode/chaincode.h"
+
+namespace fl::chaincode {
+
+class AnalyticsChaincode final : public Chaincode {
+public:
+    [[nodiscard]] std::string name() const override { return "analytics"; }
+
+    Response invoke(TxContext& ctx, const std::string& function,
+                    std::span<const std::string> args) override;
+};
+
+}  // namespace fl::chaincode

@@ -1,0 +1,58 @@
+#include "chaincode/asset_transfer.h"
+
+#include <charconv>
+
+namespace fl::chaincode {
+
+namespace {
+
+std::optional<long long> parse_int(const std::string& s) {
+    long long v = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+    return v;
+}
+
+std::string account_key(const std::string& account) {
+    return "acct/" + account;
+}
+
+}  // namespace
+
+Response AssetTransferChaincode::invoke(TxContext& ctx, const std::string& function,
+                                        std::span<const std::string> args) {
+    if (function == "create") {
+        if (args.size() != 2) return Response::failure("create: want <account> <balance>");
+        if (!parse_int(args[1])) return Response::failure("create: bad balance");
+        ctx.put(account_key(args[0]), args[1]);
+        return Response::success();
+    }
+    if (function == "transfer") {
+        if (args.size() != 3) return Response::failure("transfer: want <from> <to> <amount>");
+        const auto amount = parse_int(args[2]);
+        if (!amount || *amount < 0) return Response::failure("transfer: bad amount");
+
+        const auto from_raw = ctx.get(account_key(args[0]));
+        if (!from_raw) return Response::failure("transfer: unknown account " + args[0]);
+        const auto to_raw = ctx.get(account_key(args[1]));
+        if (!to_raw) return Response::failure("transfer: unknown account " + args[1]);
+
+        const auto from_bal = parse_int(*from_raw);
+        const auto to_bal = parse_int(*to_raw);
+        if (!from_bal || !to_bal) return Response::failure("transfer: corrupt balance");
+        if (*from_bal < *amount) return Response::failure("transfer: insufficient funds");
+
+        ctx.put(account_key(args[0]), std::to_string(*from_bal - *amount));
+        ctx.put(account_key(args[1]), std::to_string(*to_bal + *amount));
+        return Response::success();
+    }
+    if (function == "query") {
+        if (args.size() != 1) return Response::failure("query: want <account>");
+        const auto v = ctx.get(account_key(args[0]));
+        if (!v) return Response::failure("query: unknown account " + args[0]);
+        return Response::success(*v);
+    }
+    return Response::failure("asset_transfer: unknown function " + function);
+}
+
+}  // namespace fl::chaincode

@@ -1,0 +1,22 @@
+// Asset-transfer chaincode — the canonical "move value between accounts"
+// contract (the payments workload from the paper's introduction).
+//
+// Functions:
+//   create <account> <balance>          — create an account
+//   transfer <from> <to> <amount>       — move balance (reads 2, writes 2)
+//   query <account>                     — read-only balance lookup
+#pragma once
+
+#include "chaincode/chaincode.h"
+
+namespace fl::chaincode {
+
+class AssetTransferChaincode final : public Chaincode {
+public:
+    [[nodiscard]] std::string name() const override { return "asset_transfer"; }
+
+    Response invoke(TxContext& ctx, const std::string& function,
+                    std::span<const std::string> args) override;
+};
+
+}  // namespace fl::chaincode

@@ -1,0 +1,58 @@
+#include "chaincode/chaincode.h"
+
+namespace fl::chaincode {
+
+const ledger::KvWrite* TxContext::pending_write(const std::string& key) const {
+    // Last write wins within a transaction; scan from the back.
+    for (auto it = rwset_.writes.rbegin(); it != rwset_.writes.rend(); ++it) {
+        if (it->key == key) return &*it;
+    }
+    return nullptr;
+}
+
+std::optional<std::string> TxContext::get(const std::string& key) {
+    if (const ledger::KvWrite* w = pending_write(key)) {
+        if (w->is_delete) return std::nullopt;
+        return w->value;
+    }
+    // Record the read version exactly once per key.
+    const bool already_read =
+        std::any_of(rwset_.reads.begin(), rwset_.reads.end(),
+                    [&key](const ledger::KvRead& r) { return r.key == key; });
+    if (!already_read) {
+        rwset_.reads.push_back(ledger::KvRead{key, state_.version_of(key)});
+    }
+    return state_.get(key);
+}
+
+void TxContext::put(const std::string& key, std::string value) {
+    rwset_.writes.push_back(ledger::KvWrite{key, std::move(value), false});
+}
+
+void TxContext::del(const std::string& key) {
+    rwset_.writes.push_back(ledger::KvWrite{key, {}, true});
+}
+
+std::vector<std::pair<std::string, std::string>> TxContext::range(
+    const std::string& start_key, const std::string& end_key) {
+    ledger::RangeRead rr;
+    rr.start_key = start_key;
+    rr.end_key = end_key;
+    rr.observed = state_.range(start_key, end_key);
+
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(rr.observed.size());
+    for (const ledger::KvRead& r : rr.observed) {
+        if (auto v = state_.get(r.key)) {
+            out.emplace_back(r.key, *v);
+        }
+    }
+    rwset_.range_reads.push_back(std::move(rr));
+    return out;
+}
+
+ledger::ReadWriteSet TxContext::take_rwset() && {
+    return std::move(rwset_);
+}
+
+}  // namespace fl::chaincode

@@ -1,0 +1,80 @@
+// Chaincode (smart contract) execution interface.
+//
+// Endorsers "simulate" a transaction: the chaincode runs against the peer's
+// committed world state through a TxContext that records every read (with
+// its MVCC version) and buffers every write — producing the read-write set
+// that travels in the endorsement.  Writes are never applied here; only the
+// committer applies them after validation.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ledger/rwset.h"
+#include "ledger/world_state.h"
+
+namespace fl::chaincode {
+
+/// Result of a chaincode invocation.
+struct Response {
+    bool ok = true;
+    std::string message;
+
+    [[nodiscard]] static Response success(std::string msg = {}) {
+        return Response{true, std::move(msg)};
+    }
+    [[nodiscard]] static Response failure(std::string msg) {
+        return Response{false, std::move(msg)};
+    }
+};
+
+/// Tracked state access handed to an executing chaincode.
+///
+/// Read-your-own-writes: a get() after a put() in the same transaction sees
+/// the pending value and records no extra read (Fabric's tx simulator
+/// behaves the same way).
+class TxContext {
+public:
+    explicit TxContext(const ledger::WorldState& state) : state_(state) {}
+
+    /// Committed (or locally pending) value of `key`.
+    [[nodiscard]] std::optional<std::string> get(const std::string& key);
+
+    /// Buffers a write of `key`.
+    void put(const std::string& key, std::string value);
+
+    /// Buffers a delete of `key`.
+    void del(const std::string& key);
+
+    /// Tracked range scan over [start_key, end_key) of *committed* state
+    /// (pending writes are not folded in, matching Fabric).
+    std::vector<std::pair<std::string, std::string>> range(
+        const std::string& start_key, const std::string& end_key);
+
+    /// The accumulated read-write set.
+    [[nodiscard]] ledger::ReadWriteSet take_rwset() &&;
+    [[nodiscard]] const ledger::ReadWriteSet& rwset() const { return rwset_; }
+
+private:
+    [[nodiscard]] const ledger::KvWrite* pending_write(const std::string& key) const;
+
+    const ledger::WorldState& state_;
+    ledger::ReadWriteSet rwset_;
+};
+
+/// A deployed smart contract.
+class Chaincode {
+public:
+    virtual ~Chaincode() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Executes `function(args)` against `ctx`.
+    virtual Response invoke(TxContext& ctx, const std::string& function,
+                            std::span<const std::string> args) = 0;
+};
+
+}  // namespace fl::chaincode

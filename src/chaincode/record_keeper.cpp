@@ -1,0 +1,21 @@
+#include "chaincode/record_keeper.h"
+
+namespace fl::chaincode {
+
+Response RecordKeeperChaincode::invoke(TxContext& ctx, const std::string& function,
+                                       std::span<const std::string> args) {
+    if (function == "log") {
+        if (args.size() != 2) return Response::failure("log: want <record_id> <payload>");
+        ctx.put("rec/" + args[0], args[1]);
+        return Response::success();
+    }
+    if (function == "get") {
+        if (args.size() != 1) return Response::failure("get: want <record_id>");
+        const auto v = ctx.get("rec/" + args[0]);
+        if (!v) return Response::failure("get: no such record");
+        return Response::success(*v);
+    }
+    return Response::failure("record_keeper: unknown function " + function);
+}
+
+}  // namespace fl::chaincode

@@ -1,0 +1,26 @@
+// Record-keeper chaincode — bulk record-keeping/logging transactions.
+//
+// This is the workload from the paper's motivating incident: "floods of
+// record keeping transactions on blockchain was keeping some of the
+// business critical transactions from going through".  Pure blind writes,
+// so these transactions never conflict and never get invalidated — they
+// only consume ordering/validation capacity.
+//
+// Functions:
+//   log <record_id> <payload>     — append a record (blind write)
+//   get <record_id>               — read a record
+#pragma once
+
+#include "chaincode/chaincode.h"
+
+namespace fl::chaincode {
+
+class RecordKeeperChaincode final : public Chaincode {
+public:
+    [[nodiscard]] std::string name() const override { return "record_keeper"; }
+
+    Response invoke(TxContext& ctx, const std::string& function,
+                    std::span<const std::string> args) override;
+};
+
+}  // namespace fl::chaincode

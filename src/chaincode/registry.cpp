@@ -1,0 +1,56 @@
+#include "chaincode/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "chaincode/analytics.h"
+#include "chaincode/asset_transfer.h"
+#include "chaincode/record_keeper.h"
+#include "chaincode/supply_chain.h"
+
+namespace fl::chaincode {
+
+void Registry::deploy(std::unique_ptr<Chaincode> code, PriorityLevel static_priority) {
+    if (!code) throw std::invalid_argument("Registry::deploy: null chaincode");
+    const std::string name = code->name();
+    const auto [it, inserted] =
+        deployed_.emplace(name, DeployedChaincode{std::move(code), static_priority});
+    if (!inserted) {
+        throw std::invalid_argument("Registry::deploy: duplicate chaincode " + name);
+    }
+}
+
+bool Registry::has(const std::string& name) const {
+    return deployed_.contains(name);
+}
+
+Chaincode& Registry::get(const std::string& name) const {
+    const auto it = deployed_.find(name);
+    if (it == deployed_.end()) {
+        throw std::invalid_argument("Registry: unknown chaincode " + name);
+    }
+    return *it->second.code;
+}
+
+PriorityLevel Registry::static_priority(const std::string& name) const {
+    const auto it = deployed_.find(name);
+    if (it == deployed_.end()) {
+        throw std::invalid_argument("Registry: unknown chaincode " + name);
+    }
+    return it->second.static_priority;
+}
+
+Registry Registry::with_standard_contracts(std::uint32_t levels) {
+    if (levels == 0) throw std::invalid_argument("Registry: levels must be >= 1");
+    const auto clamp = [levels](PriorityLevel p) {
+        return std::min<PriorityLevel>(p, levels - 1);
+    };
+    Registry r;
+    r.deploy(std::make_unique<AssetTransferChaincode>(), clamp(0));
+    r.deploy(std::make_unique<SupplyChainChaincode>(), clamp(1));
+    r.deploy(std::make_unique<AnalyticsChaincode>(), clamp(1));
+    r.deploy(std::make_unique<RecordKeeperChaincode>(), clamp(2));
+    return r;
+}
+
+}  // namespace fl::chaincode

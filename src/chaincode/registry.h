@@ -1,0 +1,48 @@
+// Chaincode registry — the set of contracts deployed on a channel, plus the
+// deploy-time metadata the paper attaches to each chaincode: its static
+// priority level (§3 "transactions pertaining to different chaincodes could
+// statically be assigned different priorities at the time of chaincode
+// deployment").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "chaincode/chaincode.h"
+#include "common/types.h"
+
+namespace fl::chaincode {
+
+struct DeployedChaincode {
+    std::unique_ptr<Chaincode> code;
+    /// Static priority assigned at deployment (0 = highest).
+    PriorityLevel static_priority = 0;
+};
+
+class Registry {
+public:
+    /// Deploys `code` with the given static priority.  Throws on duplicate
+    /// names.
+    void deploy(std::unique_ptr<Chaincode> code, PriorityLevel static_priority);
+
+    [[nodiscard]] bool has(const std::string& name) const;
+
+    /// The deployed contract; throws std::invalid_argument if absent.
+    [[nodiscard]] Chaincode& get(const std::string& name) const;
+
+    /// Deploy-time static priority; throws std::invalid_argument if absent.
+    [[nodiscard]] PriorityLevel static_priority(const std::string& name) const;
+
+    [[nodiscard]] std::size_t size() const { return deployed_.size(); }
+
+    /// Installs the four stock contracts with a conventional priority order:
+    /// asset_transfer=0 (critical), supply_chain=1, analytics=1,
+    /// record_keeper=2 (bulk).  `levels` clamps priorities to [0, levels).
+    static Registry with_standard_contracts(std::uint32_t levels = 3);
+
+private:
+    std::unordered_map<std::string, DeployedChaincode> deployed_;
+};
+
+}  // namespace fl::chaincode

@@ -1,0 +1,23 @@
+// Supply-chain chaincode — shipments, status updates, custodian handoffs and
+// provenance tracking (the heterogeneous enterprise workload of §1).
+//
+// Functions:
+//   create_shipment <id> <origin> <dest>       — register a shipment
+//   update_status <id> <status>                — rmw on the shipment record
+//   handoff <id> <new_custodian>               — rmw changing custody
+//   track <id>                                 — range read of event history
+#pragma once
+
+#include "chaincode/chaincode.h"
+
+namespace fl::chaincode {
+
+class SupplyChainChaincode final : public Chaincode {
+public:
+    [[nodiscard]] std::string name() const override { return "supply_chain"; }
+
+    Response invoke(TxContext& ctx, const std::string& function,
+                    std::span<const std::string> args) override;
+};
+
+}  // namespace fl::chaincode

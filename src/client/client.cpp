@@ -1,0 +1,209 @@
+#include "client/client.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "peer/endorser.h"
+
+namespace fl::client {
+
+Client::Client(sim::Simulator& sim, sim::Network& net, const crypto::KeyStore& keys,
+               const policy::ChannelConfig& channel, ClientParams params, ClientId id,
+               NodeId node, crypto::Identity identity, Rng rng)
+    : sim_(sim),
+      net_(net),
+      keys_(keys),
+      channel_(channel),
+      params_(params),
+      id_(id),
+      node_(node),
+      identity_(std::move(identity)),
+      rng_(rng),
+      cpu_(sim, params.cpu_parallelism) {}
+
+void Client::connect(std::vector<peer::Peer*> endorsers,
+                     std::vector<orderer::Osn*> osns, peer::Peer* anchor_peer) {
+    if (endorsers.empty() || osns.empty() || anchor_peer == nullptr) {
+        throw std::invalid_argument("Client::connect: incomplete wiring");
+    }
+    endorsers_ = std::move(endorsers);
+    osns_ = std::move(osns);
+    anchor_peer->register_client(id_, node_,
+                                 [this](peer::CommitNotice n) { on_commit(n); });
+    // Deterministic per-client OSN rotation offset.
+    next_osn_ = static_cast<std::size_t>(id_.value()) % osns_.size();
+}
+
+void Client::submit(std::string chaincode, std::string function,
+                    std::vector<std::string> args) {
+    if (endorsers_.empty()) {
+        throw std::logic_error("Client::submit before connect()");
+    }
+    ledger::Proposal proposal;
+    // Globally-unique tx id: client id in the high bits, sequence below.
+    proposal.tx_id = TxId{(id_.value() << 40) | next_tx_seq_++};
+    proposal.channel = channel_.id;
+    proposal.client = id_;
+    proposal.client_identity = identity_.name;
+    proposal.chaincode = std::move(chaincode);
+    proposal.function = std::move(function);
+    proposal.args = std::move(args);
+    proposal.created_at = sim_.now();
+
+    PendingTx pending;
+    pending.proposal = proposal;
+    pending.expected_responses = endorsers_.size();
+    pending.submitted_at = sim_.now();
+    pending_.emplace(proposal.tx_id, std::move(pending));
+    ++submitted_;
+
+    for (peer::Peer* endorser : endorsers_) {
+        net_.send(node_, endorser->node(), proposal.wire_size(),
+                  [this, endorser, proposal] {
+                      endorser->handle_proposal(
+                          proposal, [this, endorser, tx_id = proposal.tx_id](
+                                        peer::EndorsementResult result) {
+                              // Route the response back over the network.
+                              const std::size_t wire =
+                                  256 + result.rwset.wire_size();
+                              net_.send(endorser->node(), node_, wire,
+                                        [this, tx_id, result = std::move(result)] {
+                                            on_endorsement(tx_id, result);
+                                        });
+                          });
+                  });
+    }
+}
+
+void Client::on_endorsement(TxId tx_id, peer::EndorsementResult result) {
+    const auto it = pending_.find(tx_id);
+    if (it == pending_.end()) return;  // already failed/abandoned
+    PendingTx& pending = it->second;
+    pending.responses.push_back(std::move(result));
+    if (pending.responses.size() < pending.expected_responses) return;
+
+    // All endorsers answered: verify and assemble on the client CPU.
+    const Duration cost = params_.verify_per_endorsement_cost *
+                          static_cast<std::int64_t>(pending.responses.size());
+    cpu_.submit(params_.verify_endorsements ? cost : Duration::zero(),
+                [this, tx_id] {
+                    const auto it2 = pending_.find(tx_id);
+                    if (it2 == pending_.end()) return;
+                    finalize_endorsements(it2->second);
+                });
+}
+
+void Client::finalize_endorsements(PendingTx& pending) {
+    // Adopt the read-write set of the first successful endorsement; keep
+    // every endorsement that verifies against it (endorsers that simulated
+    // against divergent state simply don't count, as in Fabric).
+    const peer::EndorsementResult* reference = nullptr;
+    for (const peer::EndorsementResult& r : pending.responses) {
+        if (r.ok) {
+            reference = &r;
+            break;
+        }
+    }
+    if (reference == nullptr) {
+        fail_client_side(pending, TxValidationCode::kEndorsementPolicyFailure);
+        return;
+    }
+
+    std::vector<ledger::Endorsement> kept;
+    kept.reserve(pending.responses.size());
+    for (const peer::EndorsementResult& r : pending.responses) {
+        if (!r.ok) continue;
+        if (params_.verify_endorsements &&
+            !peer::verify_endorsement(pending.proposal, reference->rwset,
+                                      r.endorsement, keys_)) {
+            continue;
+        }
+        kept.push_back(r.endorsement);
+    }
+
+    if (params_.drop_unfavorable_endorsements && !kept.empty()) {
+        // Malicious client: discard endorsements voting a worse (higher
+        // numeric) priority than the best vote seen.
+        const PriorityLevel best =
+            std::min_element(kept.begin(), kept.end(),
+                             [](const auto& a, const auto& b) {
+                                 return a.priority < b.priority;
+                             })
+                ->priority;
+        std::erase_if(kept, [best](const ledger::Endorsement& e) {
+            return e.priority != best;
+        });
+    }
+
+    // Client-side endorsement-policy pre-check.
+    std::set<OrgId> orgs;
+    for (const ledger::Endorsement& e : kept) {
+        orgs.insert(e.org);
+    }
+    if (!channel_.endorsement_policy.satisfied_by(orgs)) {
+        fail_client_side(pending, TxValidationCode::kEndorsementPolicyFailure);
+        return;
+    }
+
+    broadcast_envelope(pending, std::move(kept), reference->rwset);
+}
+
+void Client::broadcast_envelope(PendingTx& pending,
+                                std::vector<ledger::Endorsement> kept,
+                                ledger::ReadWriteSet rwset) {
+    auto env = std::make_shared<ledger::Envelope>();
+    env->proposal = pending.proposal;
+    env->rwset = std::move(rwset);
+    env->endorsements = std::move(kept);
+    env->broadcast_at = sim_.now();
+    pending.broadcast_at = sim_.now();
+    const crypto::Digest d = env->digest();
+    env->client_signature = keys_.sign(identity_.name, BytesView(d.data(), d.size()));
+
+    orderer::Osn* osn = osns_[next_osn_];
+    next_osn_ = (next_osn_ + 1) % osns_.size();
+    const std::size_t wire = env->wire_size();
+    net_.send(node_, osn->node(), wire,
+              [osn, env = std::move(env)] { osn->broadcast(env); });
+
+    // Responses are no longer needed; keep the map entry for commit matching.
+    pending.responses.clear();
+    pending.responses.shrink_to_fit();
+}
+
+void Client::on_commit(const peer::CommitNotice& notice) {
+    const auto it = pending_.find(notice.tx_id);
+    if (it == pending_.end()) return;  // another client's tx or duplicate
+    TxRecord record;
+    record.tx_id = notice.tx_id;
+    record.client = id_;
+    record.chaincode = it->second.proposal.chaincode;
+    record.priority = notice.priority;
+    record.submitted_at = it->second.submitted_at;
+    record.broadcast_at = it->second.broadcast_at;
+    record.block_cut_at = notice.block_cut_at;
+    record.committed_at = notice.committed_at;
+    record.completed_at = sim_.now();
+    record.code = notice.code;
+    pending_.erase(it);
+    ++completed_;
+    if (on_complete_) on_complete_(record);
+}
+
+void Client::fail_client_side(const PendingTx& pending, TxValidationCode code) {
+    TxRecord record;
+    record.tx_id = pending.proposal.tx_id;
+    record.client = id_;
+    record.chaincode = pending.proposal.chaincode;
+    record.submitted_at = pending.submitted_at;
+    record.completed_at = sim_.now();
+    record.code = code;
+    record.failed_before_ordering = true;
+    ++failures_;
+    const TxId id = pending.proposal.tx_id;
+    pending_.erase(id);
+    if (on_complete_) on_complete_(record);
+}
+
+}  // namespace fl::client

@@ -1,0 +1,149 @@
+// Client application (Fabric SDK equivalent).
+//
+// Transaction flow (paper Figure 2): build a proposal, send it to the
+// endorsing peers, collect and verify the signed endorsements (including
+// each endorser's priority vote and a consolidation pre-check — §3.1), wrap
+// everything in an envelope signed by the client, broadcast it to an OSN,
+// and finally record end-to-end latency when the commit notification comes
+// back from the client's anchor peer.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/signature.h"
+#include "ledger/transaction.h"
+#include "orderer/osn.h"
+#include "peer/peer.h"
+#include "policy/channel_config.h"
+
+namespace fl::client {
+
+struct ClientParams {
+    unsigned cpu_parallelism = 4;
+    /// Client-side verification of each returned endorsement (§3.1: "it is
+    /// in the client's interest to perform the verification up front").
+    Duration verify_per_endorsement_cost = Duration::micros(150);
+    bool verify_endorsements = true;
+    /// Malicious behaviour toggle for experiments: keep only the most
+    /// favourable priority votes (§3.1 argues this is harmless under
+    /// multi-org endorsement policies).
+    bool drop_unfavorable_endorsements = false;
+};
+
+/// Completed-transaction record for metrics, with per-phase timestamps for
+/// latency breakdowns (where does a class's time go?).
+struct TxRecord {
+    TxId tx_id;
+    ClientId client;
+    std::string chaincode;
+    PriorityLevel priority = kUnassignedPriority;  ///< consolidated (from commit)
+    TimePoint submitted_at;
+    /// Endorsements collected + verified; envelope handed to the OSN.
+    TimePoint broadcast_at;
+    /// The ordering service cut the containing block.
+    TimePoint block_cut_at;
+    /// The anchor peer finished validating + committing the block.
+    TimePoint committed_at;
+    /// Commit notification arrived back at the client (= end of latency).
+    TimePoint completed_at;
+    TxValidationCode code = TxValidationCode::kValid;
+    bool failed_before_ordering = false;  ///< endorsement/collection failure
+
+    [[nodiscard]] Duration latency() const { return completed_at - submitted_at; }
+    /// Endorsement collection + client-side verification.
+    [[nodiscard]] Duration endorsement_phase() const {
+        return broadcast_at - submitted_at;
+    }
+    /// Queueing + weighted-fair scheduling inside the ordering service —
+    /// the phase the paper's mechanism reshapes.
+    [[nodiscard]] Duration ordering_phase() const {
+        return block_cut_at - broadcast_at;
+    }
+    /// Block delivery + (prioritized) validation + commit.
+    [[nodiscard]] Duration validation_phase() const {
+        return committed_at - block_cut_at;
+    }
+    /// Commit-event delivery back to the client.
+    [[nodiscard]] Duration notification_phase() const {
+        return completed_at - committed_at;
+    }
+};
+
+class Client {
+public:
+    Client(sim::Simulator& sim, sim::Network& net, const crypto::KeyStore& keys,
+           const policy::ChannelConfig& channel, ClientParams params, ClientId id,
+           NodeId node, crypto::Identity identity, Rng rng);
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /// Wires this client to its endorsers, the ordering service, and the
+    /// anchor peer that will deliver commit notifications.
+    void connect(std::vector<peer::Peer*> endorsers, std::vector<orderer::Osn*> osns,
+                 peer::Peer* anchor_peer);
+
+    /// Submits one transaction; completion is reported asynchronously.
+    void submit(std::string chaincode, std::string function,
+                std::vector<std::string> args);
+
+    /// Callback fired on every completed (or client-side failed) tx.
+    void set_on_complete(std::function<void(const TxRecord&)> cb) {
+        on_complete_ = std::move(cb);
+    }
+
+    [[nodiscard]] ClientId id() const { return id_; }
+    [[nodiscard]] NodeId node() const { return node_; }
+
+    [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
+    [[nodiscard]] std::uint64_t completed() const { return completed_; }
+    [[nodiscard]] std::uint64_t pending() const { return pending_.size(); }
+    [[nodiscard]] std::uint64_t client_side_failures() const { return failures_; }
+
+private:
+    struct PendingTx {
+        ledger::Proposal proposal;
+        std::vector<peer::EndorsementResult> responses;
+        std::size_t expected_responses = 0;
+        TimePoint submitted_at;
+        TimePoint broadcast_at;  ///< when the envelope left for the OSN
+    };
+
+    void on_endorsement(TxId tx_id, peer::EndorsementResult result);
+    void finalize_endorsements(PendingTx& pending);
+    void broadcast_envelope(PendingTx& pending, std::vector<ledger::Endorsement> kept,
+                            ledger::ReadWriteSet rwset);
+    void on_commit(const peer::CommitNotice& notice);
+    void fail_client_side(const PendingTx& pending, TxValidationCode code);
+
+    sim::Simulator& sim_;
+    sim::Network& net_;
+    const crypto::KeyStore& keys_;
+    const policy::ChannelConfig& channel_;
+    ClientParams params_;
+    ClientId id_;
+    NodeId node_;
+    crypto::Identity identity_;
+    Rng rng_;
+    sim::CpuStation cpu_;
+
+    std::vector<peer::Peer*> endorsers_;
+    std::vector<orderer::Osn*> osns_;
+    std::size_t next_osn_ = 0;
+    std::uint64_t next_tx_seq_ = 0;
+
+    std::unordered_map<TxId, PendingTx> pending_;
+    std::function<void(const TxRecord&)> on_complete_;
+
+    std::uint64_t submitted_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t failures_ = 0;
+};
+
+}  // namespace fl::client

@@ -1,0 +1,68 @@
+#include "common/bytes.h"
+
+#include <stdexcept>
+
+namespace fl {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    throw std::invalid_argument("from_hex: invalid hex character");
+}
+}  // namespace
+
+std::string to_hex(BytesView data) {
+    std::string out;
+    out.reserve(data.size() * 2);
+    for (std::uint8_t b : data) {
+        out.push_back(kHexDigits[b >> 4]);
+        out.push_back(kHexDigits[b & 0x0F]);
+    }
+    return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+    if (hex.size() % 2 != 0) {
+        throw std::invalid_argument("from_hex: odd-length input");
+    }
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        out.push_back(static_cast<std::uint8_t>(hex_value(hex[i]) << 4 | hex_value(hex[i + 1])));
+    }
+    return out;
+}
+
+Bytes to_bytes(std::string_view s) {
+    return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(BytesView data) {
+    return std::string(data.begin(), data.end());
+}
+
+void append(Bytes& out, BytesView more) {
+    out.insert(out.end(), more.begin(), more.end());
+}
+
+void append(Bytes& out, std::string_view s) {
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+void append_u32(Bytes& out, std::uint32_t v) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+        out.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+}
+
+void append_u64(Bytes& out, std::uint64_t v) {
+    for (int shift = 56; shift >= 0; shift -= 8) {
+        out.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+}
+
+}  // namespace fl

@@ -1,0 +1,34 @@
+// Byte-buffer alias and hex helpers used by the crypto and ledger layers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fl {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Lowercase hex encoding of a byte span.
+[[nodiscard]] std::string to_hex(BytesView data);
+
+/// Parse a hex string (case-insensitive).  Throws std::invalid_argument on
+/// odd length or non-hex characters.
+[[nodiscard]] Bytes from_hex(std::string_view hex);
+
+/// Copy a UTF-8/ASCII string into a byte buffer.
+[[nodiscard]] Bytes to_bytes(std::string_view s);
+
+/// Interpret a byte buffer as a string (for test readability only).
+[[nodiscard]] std::string to_string(BytesView data);
+
+/// Append helpers used when building canonical serializations.
+void append(Bytes& out, BytesView more);
+void append(Bytes& out, std::string_view s);
+void append_u32(Bytes& out, std::uint32_t v);  ///< big-endian
+void append_u64(Bytes& out, std::uint64_t v);  ///< big-endian
+
+}  // namespace fl

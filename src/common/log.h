@@ -1,0 +1,36 @@
+// Minimal leveled logger.  Off by default so benchmark loops stay tight; the
+// examples and tests can raise the level to trace the transaction flow.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fl {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log level.  Not thread-safe by design: the simulator is
+/// single-threaded and tests set the level once up front.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+#define FL_LOG(level, expr)                                              \
+    do {                                                                 \
+        if (static_cast<int>(level) >= static_cast<int>(::fl::log_level())) { \
+            std::ostringstream fl_log_oss_;                              \
+            fl_log_oss_ << expr;                                         \
+            ::fl::detail::log_line(level, fl_log_oss_.str());            \
+        }                                                                \
+    } while (0)
+
+#define FL_TRACE(expr) FL_LOG(::fl::LogLevel::kTrace, expr)
+#define FL_DEBUG(expr) FL_LOG(::fl::LogLevel::kDebug, expr)
+#define FL_INFO(expr) FL_LOG(::fl::LogLevel::kInfo, expr)
+#define FL_WARN(expr) FL_LOG(::fl::LogLevel::kWarn, expr)
+#define FL_ERROR(expr) FL_LOG(::fl::LogLevel::kError, expr)
+
+}  // namespace fl

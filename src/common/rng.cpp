@@ -1,0 +1,100 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace fl {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+/// FNV-1a over a label, used to decorrelate split streams.
+std::uint64_t hash_label(std::string_view label) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : label) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    for (auto& s : state_) {
+        s = splitmix64(seed);
+    }
+}
+
+std::uint64_t Rng::next_u64() {
+    // xoshiro256**
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next_u64();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+double Rng::next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+}
+
+double Rng::exponential(double mean) {
+    double u = next_double();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev, bool non_negative) {
+    // Irwin–Hall sum of 12 uniforms: mean 6, variance 1.
+    double s = 0.0;
+    for (int i = 0; i < 12; ++i) s += next_double();
+    double v = mean + stddev * (s - 6.0);
+    if (non_negative && v < 0.0) v = 0.0;
+    return v;
+}
+
+bool Rng::chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+}
+
+Duration Rng::exponential_duration(Duration mean) {
+    return Duration::from_seconds(exponential(mean.as_seconds()));
+}
+
+Rng Rng::split(std::string_view label) {
+    return Rng(next_u64() ^ hash_label(label));
+}
+
+}  // namespace fl

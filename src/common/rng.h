@@ -1,0 +1,55 @@
+// Deterministic, splittable random number generation.
+//
+// Experiments must be exactly reproducible across runs and platforms, so we
+// implement our own PRNG (xoshiro256**) seeded via SplitMix64 instead of
+// relying on unspecified standard-library engines/distributions.  `Rng::split`
+// derives an independent stream for a child component, so adding a component
+// never perturbs the random sequence seen by others.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/time.h"
+
+namespace fl {
+
+class Rng {
+public:
+    /// Seeds the generator.  Equal seeds produce equal sequences.
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /// Uniform 64-bit value.
+    std::uint64_t next_u64();
+
+    /// Uniform in [0, bound).  bound == 0 returns 0.
+    std::uint64_t next_below(std::uint64_t bound);
+
+    /// Uniform double in [0, 1).
+    double next_double();
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Exponentially distributed value with the given mean (> 0).
+    double exponential(double mean);
+
+    /// Approximately normal (sum of uniforms), clamped to >= 0 when
+    /// `non_negative` — used for latency jitter.
+    double normal(double mean, double stddev, bool non_negative = true);
+
+    /// True with probability p (clamped to [0,1]).
+    bool chance(double p);
+
+    /// Exponentially distributed duration with the given mean.
+    Duration exponential_duration(Duration mean);
+
+    /// Derives an independent child generator; the label decorrelates
+    /// children split from the same parent state.
+    [[nodiscard]] Rng split(std::string_view label);
+
+private:
+    std::uint64_t state_[4];
+};
+
+}  // namespace fl

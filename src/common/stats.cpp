@@ -1,0 +1,121 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace fl {
+
+void RunningStats::add(double x) {
+    ++n_;
+    sum_ += x;
+    if (n_ == 1) {
+        mean_ = x;
+        min_ = x;
+        max_ = x;
+        m2_ = 0.0;
+        return;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const {
+    return std::sqrt(variance());
+}
+
+void RunningStats::merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n = static_cast<double>(n_);
+    const auto m = static_cast<double>(other.n_);
+    const double combined = n + m;
+    m2_ = m2_ + other.m2_ + delta * delta * n * m / combined;
+    mean_ = (n * mean_ + m * other.mean_) / combined;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+Histogram::Histogram(double min_value, double max_value, int buckets_per_decade)
+    : min_value_(min_value),
+      log_min_(std::log10(min_value)),
+      bucket_width_log_(1.0 / buckets_per_decade) {
+    if (min_value <= 0.0 || max_value <= min_value || buckets_per_decade < 1) {
+        throw std::invalid_argument("Histogram: bad construction parameters");
+    }
+    const double decades = std::log10(max_value) - log_min_;
+    const auto n = static_cast<std::size_t>(std::ceil(decades * buckets_per_decade)) + 2;
+    buckets_.assign(n, 0);
+}
+
+std::size_t Histogram::bucket_index(double value) const {
+    if (value <= min_value_) return 0;
+    const double idx = (std::log10(value) - log_min_) / bucket_width_log_;
+    auto i = static_cast<std::size_t>(idx) + 1;
+    return std::min(i, buckets_.size() - 1);
+}
+
+double Histogram::bucket_upper_bound(std::size_t idx) const {
+    if (idx == 0) return min_value_;
+    return std::pow(10.0, log_min_ + static_cast<double>(idx) * bucket_width_log_);
+}
+
+void Histogram::add(double value) {
+    ++buckets_[bucket_index(value)];
+    ++total_;
+    stats_.add(value);
+}
+
+double Histogram::percentile(double p) const {
+    if (total_ == 0) return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(total_)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target && buckets_[i] > 0) {
+            return std::min(bucket_upper_bound(i), stats_.max());
+        }
+    }
+    return stats_.max();
+}
+
+void Histogram::merge(const Histogram& other) {
+    if (buckets_.size() != other.buckets_.size()) {
+        throw std::invalid_argument("Histogram::merge: incompatible layouts");
+    }
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        buckets_[i] += other.buckets_[i];
+    }
+    total_ += other.total_;
+    stats_.merge(other.stats_);
+}
+
+double RunAggregator::ci95_half_width() const {
+    if (stats_.count() < 2) return 0.0;
+    return 1.96 * stats_.stddev() / std::sqrt(static_cast<double>(stats_.count()));
+}
+
+std::string format_fixed(double v, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+}  // namespace fl

@@ -1,0 +1,89 @@
+// Online statistics: running moments and a log-bucketed latency histogram
+// with percentile queries, plus a small multi-run aggregator used by the
+// benchmark harness to average experiments (the paper averages 10 runs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace fl {
+
+/// Welford online mean/variance with min/max tracking.
+class RunningStats {
+public:
+    void add(double x);
+
+    [[nodiscard]] std::uint64_t count() const { return n_; }
+    [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+    [[nodiscard]] double variance() const;  ///< sample variance (n-1)
+    [[nodiscard]] double stddev() const;
+    [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+    [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+    [[nodiscard]] double sum() const { return sum_; }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    void merge(const RunningStats& other);
+
+private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Log-bucketed histogram over positive values (latencies in seconds).
+/// Buckets grow geometrically from `min_value` with `buckets_per_decade`
+/// buckets per factor-of-10, giving bounded relative error on percentiles.
+class Histogram {
+public:
+    explicit Histogram(double min_value = 1e-6, double max_value = 1e4,
+                       int buckets_per_decade = 50);
+
+    void add(double value);
+    void add(Duration d) { add(d.as_seconds()); }
+
+    [[nodiscard]] std::uint64_t count() const { return total_; }
+    [[nodiscard]] double percentile(double p) const;  ///< p in [0,100]
+    [[nodiscard]] double median() const { return percentile(50.0); }
+    [[nodiscard]] double mean() const { return stats_.mean(); }
+    [[nodiscard]] double min() const { return stats_.min(); }
+    [[nodiscard]] double max() const { return stats_.max(); }
+    [[nodiscard]] const RunningStats& stats() const { return stats_; }
+
+    void merge(const Histogram& other);
+
+private:
+    [[nodiscard]] std::size_t bucket_index(double value) const;
+    [[nodiscard]] double bucket_upper_bound(std::size_t idx) const;
+
+    double min_value_;
+    double log_min_;
+    double bucket_width_log_;  // log10 width of one bucket
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t total_ = 0;
+    RunningStats stats_;
+};
+
+/// Aggregates one scalar metric across repeated experiment runs and reports
+/// mean and a 95% normal-approximation confidence half-width.
+class RunAggregator {
+public:
+    void add_run(double value) { stats_.add(value); }
+
+    [[nodiscard]] double mean() const { return stats_.mean(); }
+    [[nodiscard]] double ci95_half_width() const;
+    [[nodiscard]] std::uint64_t runs() const { return stats_.count(); }
+
+private:
+    RunningStats stats_;
+};
+
+/// Fixed-point style formatting helpers for report tables.
+[[nodiscard]] std::string format_fixed(double v, int decimals);
+
+}  // namespace fl

@@ -1,0 +1,75 @@
+// Simulated time.
+//
+// The discrete-event simulator advances a virtual clock; nothing in the
+// library ever reads the wall clock.  Time points and durations are distinct
+// strong types backed by signed 64-bit nanosecond counts, which gives
+// ~292 years of range — far beyond any experiment.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+
+namespace fl {
+
+class Duration {
+public:
+    constexpr Duration() = default;
+
+    [[nodiscard]] static constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
+    [[nodiscard]] static constexpr Duration micros(std::int64_t u) { return Duration{u * 1'000}; }
+    [[nodiscard]] static constexpr Duration millis(std::int64_t m) { return Duration{m * 1'000'000}; }
+    [[nodiscard]] static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+    /// Fractional seconds, e.g. Duration::from_seconds(0.0015) == 1.5 ms.
+    [[nodiscard]] static constexpr Duration from_seconds(double s) {
+        return Duration{static_cast<std::int64_t>(s * 1e9)};
+    }
+    [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+    [[nodiscard]] static constexpr Duration max() {
+        return Duration{std::numeric_limits<std::int64_t>::max()};
+    }
+
+    [[nodiscard]] constexpr std::int64_t as_nanos() const { return ns_; }
+    [[nodiscard]] constexpr double as_seconds() const { return static_cast<double>(ns_) / 1e9; }
+    [[nodiscard]] constexpr double as_millis() const { return static_cast<double>(ns_) / 1e6; }
+
+    constexpr auto operator<=>(const Duration&) const = default;
+
+    constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+    constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+    constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+    constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+    constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+    constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+private:
+    constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+    std::int64_t ns_ = 0;
+};
+
+class TimePoint {
+public:
+    constexpr TimePoint() = default;
+
+    [[nodiscard]] static constexpr TimePoint origin() { return TimePoint{}; }
+    [[nodiscard]] static constexpr TimePoint from_nanos(std::int64_t ns) { return TimePoint{ns}; }
+    [[nodiscard]] static constexpr TimePoint max() {
+        return TimePoint{std::numeric_limits<std::int64_t>::max()};
+    }
+
+    [[nodiscard]] constexpr std::int64_t as_nanos() const { return ns_; }
+    [[nodiscard]] constexpr double as_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+    constexpr auto operator<=>(const TimePoint&) const = default;
+
+    constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.as_nanos()}; }
+    constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.as_nanos()}; }
+    constexpr Duration operator-(TimePoint o) const { return Duration::nanos(ns_ - o.ns_); }
+    constexpr TimePoint& operator+=(Duration d) { ns_ += d.as_nanos(); return *this; }
+
+private:
+    constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+    std::int64_t ns_ = 0;
+};
+
+}  // namespace fl

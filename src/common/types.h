@@ -1,0 +1,102 @@
+// Strongly-typed identifiers and core enumerations shared by every module.
+//
+// Each entity kind in the network (organization, peer, orderer node, client,
+// channel, transaction, block) gets its own id type so they cannot be mixed
+// up at call sites.  Ids are cheap value types (a single integer) with full
+// comparison support and std::hash specializations.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fl {
+
+/// CRTP-free strong integer id.  `Tag` distinguishes unrelated id spaces.
+template <typename Tag>
+class StrongId {
+public:
+    constexpr StrongId() = default;
+    constexpr explicit StrongId(std::uint64_t v) : value_(v) {}
+
+    [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+
+    constexpr auto operator<=>(const StrongId&) const = default;
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+struct OrgTag {};
+struct PeerTag {};
+struct OsnTag {};
+struct ClientTag {};
+struct ChannelTag {};
+struct TxTag {};
+struct NodeTag {};
+
+using OrgId = StrongId<OrgTag>;
+using PeerId = StrongId<PeerTag>;
+using OsnId = StrongId<OsnTag>;
+using ClientId = StrongId<ClientTag>;
+using ChannelId = StrongId<ChannelTag>;
+using TxId = StrongId<TxTag>;
+/// Uniform node address used by the network layer (peers, OSNs, clients and
+/// the mq broker all live in one address space).
+using NodeId = StrongId<NodeTag>;
+
+/// Block sequence number within a channel's chain.
+using BlockNumber = std::uint64_t;
+
+/// Priority level of a transaction.  Level 0 is the *highest* priority;
+/// higher numbers mean lower priority, mirroring the paper's
+/// "queues ordered from highest to lowest priority".
+using PriorityLevel = std::uint32_t;
+
+/// Sentinel for "no priority assigned yet".
+inline constexpr PriorityLevel kUnassignedPriority = 0xFFFFFFFFu;
+
+/// Validation outcome of a transaction at commit time (Fabric validation
+/// codes, reduced to the cases the paper's pipeline produces).
+enum class TxValidationCode : std::uint8_t {
+    kValid = 0,
+    kMvccReadConflict,       ///< a read version no longer matches state
+    kPhantomReadConflict,    ///< range read invalidated
+    kWriteConflict,          ///< lost ww-race inside the block
+    kEndorsementPolicyFailure,
+    kBadPriorityConsolidation,
+    kBadSignature,
+    kDuplicateTxId,
+};
+
+[[nodiscard]] constexpr bool is_valid(TxValidationCode c) {
+    return c == TxValidationCode::kValid;
+}
+
+[[nodiscard]] std::string to_string(TxValidationCode c);
+
+inline std::string to_string(TxValidationCode c) {
+    switch (c) {
+    case TxValidationCode::kValid: return "VALID";
+    case TxValidationCode::kMvccReadConflict: return "MVCC_READ_CONFLICT";
+    case TxValidationCode::kPhantomReadConflict: return "PHANTOM_READ_CONFLICT";
+    case TxValidationCode::kWriteConflict: return "WRITE_CONFLICT";
+    case TxValidationCode::kEndorsementPolicyFailure: return "ENDORSEMENT_POLICY_FAILURE";
+    case TxValidationCode::kBadPriorityConsolidation: return "BAD_PRIORITY_CONSOLIDATION";
+    case TxValidationCode::kBadSignature: return "BAD_SIGNATURE";
+    case TxValidationCode::kDuplicateTxId: return "DUPLICATE_TXID";
+    }
+    return "UNKNOWN";
+}
+
+}  // namespace fl
+
+namespace std {
+template <typename Tag>
+struct hash<fl::StrongId<Tag>> {
+    size_t operator()(const fl::StrongId<Tag>& id) const noexcept {
+        return std::hash<std::uint64_t>{}(id.value());
+    }
+};
+}  // namespace std

@@ -1,0 +1,171 @@
+#include "core/fabric_network.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace fl::core {
+
+namespace {
+constexpr std::uint64_t kPeerNodeBase = 100;
+constexpr std::uint64_t kOsnNodeBase = 200;
+constexpr std::uint64_t kClientNodeBase = 300;
+constexpr std::uint64_t kBrokerNode = 9000;
+}  // namespace
+
+FabricNetwork::FabricNetwork(NetworkConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      registry_(chaincode::Registry::with_standard_contracts(
+          config_.channel.effective_levels())) {
+    if (config_.orgs == 0 || config_.peers_per_org == 0 || config_.osns == 0 ||
+        config_.clients == 0) {
+        throw std::invalid_argument("NetworkConfig: all component counts must be >= 1");
+    }
+    build();
+}
+
+void FabricNetwork::build() {
+    net_ = std::make_unique<sim::Network>(sim_, rng_.split("network"),
+                                          config_.link_params);
+    mq::BrokerParams broker_params;
+    broker_params.node = NodeId{kBrokerNode};
+    broker_ = std::make_unique<mq::Broker<orderer::OrderedRecord>>(sim_, *net_,
+                                                                   broker_params);
+
+    keys_.set_seed(config_.seed ^ 0x4B45595345454431ull);  // "KEYSEED1"
+
+    // Endorsement policy: k-of-n over the organizations (0 = all orgs).
+    const std::uint32_t k =
+        config_.endorsement_k == 0 ? config_.orgs
+                                   : std::min(config_.endorsement_k, config_.orgs);
+    config_.channel.endorsement_policy =
+        policy::EndorsementPolicy::k_of_n_orgs(k, config_.orgs);
+
+    // Topics: one per priority level (a single one in baseline mode).
+    for (std::uint32_t level = 0; level < config_.channel.effective_levels(); ++level) {
+        broker_->create_topic(config_.channel.topic_for_level(level));
+    }
+
+    peer::CalculatorFactory factory = config_.calculator_factory;
+    if (!factory) {
+        factory = [] { return std::make_unique<peer::StaticChaincodeCalculator>(); };
+    }
+
+    // Peers.
+    for (std::uint32_t org = 0; org < config_.orgs; ++org) {
+        for (std::uint32_t p = 0; p < config_.peers_per_org; ++p) {
+            const std::uint64_t index = org * config_.peers_per_org + p;
+            crypto::Identity identity{
+                "org" + std::to_string(org) + ".peer" + std::to_string(p), OrgId{org}};
+            keys_.register_identity(identity);
+            peers_.push_back(std::make_unique<peer::Peer>(
+                sim_, *net_, keys_, registry_, config_.channel, config_.peer_params,
+                PeerId{index}, NodeId{kPeerNodeBase + index}, identity, factory(),
+                rng_.split("peer" + std::to_string(index))));
+        }
+    }
+
+    // OSNs, each with its own local-clock skew.
+    for (std::uint32_t i = 0; i < config_.osns; ++i) {
+        crypto::Identity identity{"osn" + std::to_string(i), OrgId{0}};
+        keys_.register_identity(identity);
+        orderer::OsnParams params = config_.osn_params;
+        params.clock_skew = Duration::from_seconds(
+            rng_.split("osnskew" + std::to_string(i))
+                .uniform(0.0, config_.max_osn_clock_skew.as_seconds()));
+        osns_.push_back(std::make_unique<orderer::Osn>(
+            sim_, *net_, *broker_, keys_, config_.channel, params, OsnId{i},
+            NodeId{kOsnNodeBase + i}));
+    }
+
+    // Each peer receives blocks from one OSN (round-robin).
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+        peer::Peer* p = peers_[i].get();
+        osns_[i % osns_.size()]->connect_peer(
+            p->node(),
+            [p](std::shared_ptr<const ledger::Block> block) {
+                p->deliver_block(std::move(block));
+            });
+    }
+
+    // Clients: endorse at every peer, anchor at a round-robin peer.
+    for (std::uint32_t c = 0; c < config_.clients; ++c) {
+        crypto::Identity identity{"client" + std::to_string(c),
+                                  OrgId{c % config_.orgs}};
+        keys_.register_identity(identity);
+        clients_.push_back(std::make_unique<client::Client>(
+            sim_, *net_, keys_, config_.channel, config_.client_params, ClientId{c},
+            NodeId{kClientNodeBase + c}, identity,
+            rng_.split("client" + std::to_string(c))));
+
+        std::vector<peer::Peer*> endorsers;
+        endorsers.reserve(peers_.size());
+        for (const auto& p : peers_) {
+            endorsers.push_back(p.get());
+        }
+        std::vector<orderer::Osn*> osn_ptrs;
+        osn_ptrs.reserve(osns_.size());
+        for (const auto& o : osns_) {
+            osn_ptrs.push_back(o.get());
+        }
+        clients_.back()->connect(std::move(endorsers), std::move(osn_ptrs),
+                                 peers_[c % peers_.size()].get());
+    }
+
+    // Start the ordering service last so subscriptions see a clean log.
+    for (const auto& osn : osns_) {
+        osn->start();
+    }
+
+    // Guard against runaway configurations (events scale with tx volume).
+    sim_.set_event_limit(500'000'000);
+}
+
+void FabricNetwork::set_tx_sink(std::function<void(const client::TxRecord&)> sink) {
+    for (const auto& c : clients_) {
+        c->set_on_complete(sink);
+    }
+}
+
+void FabricNetwork::update_block_policy(const policy::BlockFormationPolicy& new_policy) {
+    osns_.front()->submit_config_update(new_policy);
+}
+
+void FabricNetwork::seed_state(const std::string& key, const std::string& value) {
+    for (const auto& p : peers_) {
+        p->seed_state(key, value);
+    }
+}
+
+bool FabricNetwork::chains_identical() const {
+    for (std::size_t i = 1; i < peers_.size(); ++i) {
+        if (peers_[i]->chain().chain_fingerprint() !=
+            peers_[0]->chain().chain_fingerprint()) {
+            return false;
+        }
+        if (peers_[i]->chain().height() != peers_[0]->chain().height()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool FabricNetwork::states_identical() const {
+    for (std::size_t i = 1; i < peers_.size(); ++i) {
+        if (peers_[i]->state().fingerprint() != peers_[0]->state().fingerprint()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool FabricNetwork::osn_blocks_identical() const {
+    for (std::size_t i = 1; i < osns_.size(); ++i) {
+        if (osns_[i]->block_hashes() != osns_[0]->block_hashes()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace fl::core

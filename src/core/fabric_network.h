@@ -1,0 +1,91 @@
+// FabricNetwork — builds and owns a complete simulated network: the
+// discrete-event simulator, the network fabric, the mq broker (Kafka), the
+// key store (PKI), the chaincode registry, and all peers, OSNs and clients,
+// fully wired per a NetworkConfig.
+//
+// This is the library's main entry point:
+//
+//   fl::core::NetworkConfig cfg;                 // paper defaults
+//   fl::core::FabricNetwork net(cfg);
+//   fl::core::MetricsCollector metrics;
+//   net.set_tx_sink([&](const auto& r) { metrics.record(r); });
+//   net.clients()[0]->submit("asset_transfer", "create", {"alice", "100"});
+//   net.run();                                   // drain the simulation
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "chaincode/registry.h"
+#include "client/client.h"
+#include "core/config.h"
+#include "core/metrics.h"
+#include "crypto/signature.h"
+#include "mq/broker.h"
+#include "orderer/osn.h"
+#include "peer/peer.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace fl::core {
+
+class FabricNetwork {
+public:
+    explicit FabricNetwork(NetworkConfig config);
+
+    FabricNetwork(const FabricNetwork&) = delete;
+    FabricNetwork& operator=(const FabricNetwork&) = delete;
+
+    [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+    [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+    [[nodiscard]] std::vector<std::unique_ptr<peer::Peer>>& peers() { return peers_; }
+    [[nodiscard]] std::vector<std::unique_ptr<orderer::Osn>>& osns() { return osns_; }
+    [[nodiscard]] std::vector<std::unique_ptr<client::Client>>& clients() {
+        return clients_;
+    }
+    [[nodiscard]] const chaincode::Registry& registry() const { return registry_; }
+    [[nodiscard]] const crypto::KeyStore& keys() const { return keys_; }
+    [[nodiscard]] mq::Broker<orderer::OrderedRecord>& broker() { return *broker_; }
+
+    /// Registers a completion callback wired to every client.
+    void set_tx_sink(std::function<void(const client::TxRecord&)> sink);
+
+    /// Runs the simulation until all scheduled work drains.
+    void run() { sim_.run(); }
+
+    /// Seeds a committed key on every peer (bootstrap for contended
+    /// workloads); must be called before any traffic.
+    void seed_state(const std::string& key, const std::string& value);
+
+    /// Submits a channel-configuration transaction that changes the block
+    /// formation policy at run time; all OSNs switch at the same block
+    /// boundary (the paper's §3.3 online-reconfiguration scenarios).
+    void update_block_policy(const policy::BlockFormationPolicy& new_policy);
+
+    // -- consistency checks (used by tests & examples) -----------------------
+    /// True iff every peer holds the identical chain.
+    [[nodiscard]] bool chains_identical() const;
+    /// True iff every peer holds the identical world state.
+    [[nodiscard]] bool states_identical() const;
+    /// True iff every OSN produced the identical block-hash sequence.
+    [[nodiscard]] bool osn_blocks_identical() const;
+
+private:
+    void build();
+
+    NetworkConfig config_;
+    sim::Simulator sim_;
+    Rng rng_;
+    std::unique_ptr<sim::Network> net_;
+    std::unique_ptr<mq::Broker<orderer::OrderedRecord>> broker_;
+    crypto::KeyStore keys_;
+    chaincode::Registry registry_;
+
+    std::vector<std::unique_ptr<peer::Peer>> peers_;
+    std::vector<std::unique_ptr<orderer::Osn>> osns_;
+    std::vector<std::unique_ptr<client::Client>> clients_;
+};
+
+}  // namespace fl::core

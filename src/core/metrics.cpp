@@ -1,0 +1,47 @@
+#include "core/metrics.h"
+
+namespace fl::core {
+
+void MetricsCollector::record(const client::TxRecord& record) {
+    first_submit_ = std::min(first_submit_, record.submitted_at);
+    last_complete_ = std::max(last_complete_, record.completed_at);
+
+    if (record.failed_before_ordering) {
+        ++client_failures_;
+        return;
+    }
+    if (!is_valid(record.code)) {
+        ++invalid_;
+        return;
+    }
+    ++valid_;
+    const double latency = record.latency().as_seconds();
+    overall_.add(latency);
+    by_priority_.try_emplace(record.priority).first->second.add(latency);
+    by_client_.try_emplace(record.client).first->second.add(latency);
+    by_chaincode_.try_emplace(record.chaincode).first->second.add(latency);
+
+    PhaseStats& phases = phases_by_priority_[record.priority];
+    phases.endorsement.add(record.endorsement_phase().as_seconds());
+    phases.ordering.add(record.ordering_phase().as_seconds());
+    phases.validation.add(record.validation_phase().as_seconds());
+    phases.notification.add(record.notification_phase().as_seconds());
+}
+
+double MetricsCollector::avg_latency_for_priority(PriorityLevel level) const {
+    const auto it = by_priority_.find(level);
+    return it == by_priority_.end() ? 0.0 : it->second.mean();
+}
+
+double MetricsCollector::avg_latency_for_client(ClientId client) const {
+    const auto it = by_client_.find(client);
+    return it == by_client_.end() ? 0.0 : it->second.mean();
+}
+
+double MetricsCollector::throughput_tps() const {
+    if (valid_ == 0 || last_complete_ <= first_submit_) return 0.0;
+    return static_cast<double>(valid_) /
+           (last_complete_ - first_submit_).as_seconds();
+}
+
+}  // namespace fl::core

@@ -1,0 +1,77 @@
+// Experiment metrics: per-priority, per-client and per-chaincode latency
+// distributions plus throughput and validity accounting — the quantities
+// Hyperledger Caliper reports in the paper's evaluation.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "client/client.h"
+#include "common/stats.h"
+
+namespace fl::core {
+
+/// Where a class's latency goes: mean seconds per pipeline phase.
+struct PhaseStats {
+    RunningStats endorsement;
+    RunningStats ordering;
+    RunningStats validation;
+    RunningStats notification;
+};
+
+class MetricsCollector {
+public:
+    /// Records one completed transaction.
+    void record(const client::TxRecord& record);
+
+    [[nodiscard]] const Histogram& overall() const { return overall_; }
+    [[nodiscard]] const std::map<PriorityLevel, Histogram>& by_priority() const {
+        return by_priority_;
+    }
+    [[nodiscard]] const std::map<ClientId, Histogram>& by_client() const {
+        return by_client_;
+    }
+    [[nodiscard]] const std::map<std::string, Histogram>& by_chaincode() const {
+        return by_chaincode_;
+    }
+    /// Per-priority latency breakdown over the pipeline phases.
+    [[nodiscard]] const std::map<PriorityLevel, PhaseStats>& phases_by_priority() const {
+        return phases_by_priority_;
+    }
+
+    [[nodiscard]] std::uint64_t committed_valid() const { return valid_; }
+    [[nodiscard]] std::uint64_t committed_invalid() const { return invalid_; }
+    [[nodiscard]] std::uint64_t client_failures() const { return client_failures_; }
+    [[nodiscard]] std::uint64_t total() const {
+        return valid_ + invalid_ + client_failures_;
+    }
+
+    /// Mean end-to-end latency (seconds) of committed transactions.
+    [[nodiscard]] double avg_latency() const { return overall_.mean(); }
+
+    /// Mean latency of one priority level, 0 if the level saw no traffic.
+    [[nodiscard]] double avg_latency_for_priority(PriorityLevel level) const;
+
+    /// Mean latency of one client's transactions.
+    [[nodiscard]] double avg_latency_for_client(ClientId client) const;
+
+    /// Committed-transaction throughput over the measurement span.
+    [[nodiscard]] double throughput_tps() const;
+
+    [[nodiscard]] TimePoint first_submit() const { return first_submit_; }
+    [[nodiscard]] TimePoint last_complete() const { return last_complete_; }
+
+private:
+    Histogram overall_;
+    std::map<PriorityLevel, Histogram> by_priority_;
+    std::map<ClientId, Histogram> by_client_;
+    std::map<std::string, Histogram> by_chaincode_;
+    std::map<PriorityLevel, PhaseStats> phases_by_priority_;
+    std::uint64_t valid_ = 0;
+    std::uint64_t invalid_ = 0;
+    std::uint64_t client_failures_ = 0;
+    TimePoint first_submit_ = TimePoint::max();
+    TimePoint last_complete_;
+};
+
+}  // namespace fl::core

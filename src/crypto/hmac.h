@@ -1,0 +1,13 @@
+// HMAC-SHA-256 (RFC 2104), verified against the RFC 4231 test vectors.
+// Backs the simulated signature scheme.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace fl::crypto {
+
+[[nodiscard]] Digest hmac_sha256(BytesView key, BytesView message);
+[[nodiscard]] Digest hmac_sha256(std::string_view key, std::string_view message);
+
+}  // namespace fl::crypto

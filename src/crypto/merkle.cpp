@@ -1,0 +1,77 @@
+#include "crypto/merkle.h"
+
+namespace fl::crypto {
+
+namespace {
+
+Digest hash_pair(const Digest& left, const Digest& right) {
+    Sha256 ctx;
+    ctx.update(BytesView(left.data(), left.size()));
+    ctx.update(BytesView(right.data(), right.size()));
+    return ctx.finish();
+}
+
+}  // namespace
+
+Digest merkle_root(const std::vector<Digest>& leaves) {
+    if (leaves.empty()) {
+        return sha256(std::string_view{});
+    }
+    std::vector<Digest> level = leaves;
+    while (level.size() > 1) {
+        std::vector<Digest> next;
+        next.reserve((level.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+            next.push_back(hash_pair(level[i], level[i + 1]));
+        }
+        if (level.size() % 2 == 1) {
+            next.push_back(level.back());  // promote odd node
+        }
+        level = std::move(next);
+    }
+    return level.front();
+}
+
+std::optional<MerkleProof> merkle_proof(const std::vector<Digest>& leaves,
+                                        std::size_t index) {
+    if (index >= leaves.size()) return std::nullopt;
+    MerkleProof proof;
+    std::vector<Digest> level = leaves;
+    std::size_t pos = index;
+    while (level.size() > 1) {
+        const bool has_sibling = (pos % 2 == 0) ? (pos + 1 < level.size()) : true;
+        if (has_sibling) {
+            ProofStep step;
+            if (pos % 2 == 0) {
+                step.sibling = level[pos + 1];
+                step.sibling_is_left = false;
+            } else {
+                step.sibling = level[pos - 1];
+                step.sibling_is_left = true;
+            }
+            proof.push_back(step);
+        }
+        std::vector<Digest> next;
+        next.reserve((level.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+            next.push_back(hash_pair(level[i], level[i + 1]));
+        }
+        if (level.size() % 2 == 1) {
+            next.push_back(level.back());
+        }
+        pos /= 2;
+        level = std::move(next);
+    }
+    return proof;
+}
+
+bool verify_proof(const Digest& leaf, const MerkleProof& proof, const Digest& root) {
+    Digest acc = leaf;
+    for (const ProofStep& step : proof) {
+        acc = step.sibling_is_left ? hash_pair(step.sibling, acc)
+                                   : hash_pair(acc, step.sibling);
+    }
+    return acc == root;
+}
+
+}  // namespace fl::crypto

@@ -1,0 +1,35 @@
+// Binary Merkle tree over transaction digests.  Blocks carry the Merkle root
+// of their transaction list as the data hash, as Fabric's block header does
+// (Fabric hashes the serialized data; a Merkle root is the standard
+// equivalent that additionally supports inclusion proofs).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace fl::crypto {
+
+/// One step of an inclusion proof: sibling digest + side flag.
+struct ProofStep {
+    Digest sibling;
+    bool sibling_is_left = false;
+};
+
+using MerkleProof = std::vector<ProofStep>;
+
+/// Root of a list of leaf digests.  Odd nodes are promoted (Bitcoin-style
+/// duplication is deliberately avoided to keep proofs unambiguous).
+/// An empty list hashes to sha256("") so the root is always defined.
+[[nodiscard]] Digest merkle_root(const std::vector<Digest>& leaves);
+
+/// Inclusion proof for leaf `index`; std::nullopt if index out of range.
+[[nodiscard]] std::optional<MerkleProof> merkle_proof(
+    const std::vector<Digest>& leaves, std::size_t index);
+
+/// Verifies that `leaf` at the proof's position hashes up to `root`.
+[[nodiscard]] bool verify_proof(const Digest& leaf, const MerkleProof& proof,
+                                const Digest& root);
+
+}  // namespace fl::crypto

@@ -1,0 +1,80 @@
+#include "harness/experiment.h"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace fl::harness {
+
+RunResult run_once(core::NetworkConfig config,
+                   const std::function<Workload()>& make_workload,
+                   std::uint64_t seed) {
+    config.seed = seed;
+    core::FabricNetwork net(config);
+
+    RunResult result;
+    net.set_tx_sink([&result](const client::TxRecord& r) { result.metrics.record(r); });
+
+    Workload workload = make_workload();
+    WorkloadDriver driver(net, std::move(workload), Rng(seed ^ 0x574B4C44ull));
+    driver.start();
+    net.run();
+
+    result.chains_identical = net.chains_identical();
+    result.states_identical = net.states_identical();
+    result.osn_blocks_identical = net.osn_blocks_identical();
+    result.blocks = net.peers().front()->chain().height();
+    result.txs_invalid = net.peers().front()->txs_invalid();
+    for (const auto& osn : net.osns()) {
+        result.consolidation_failures += osn->consolidation_failures();
+    }
+    result.level_totals = net.osns().front()->level_totals();
+    return result;
+}
+
+AggregateResult run_experiment(const ExperimentSpec& spec) {
+    if (!spec.make_workload) {
+        throw std::invalid_argument("run_experiment: no workload factory");
+    }
+    if (spec.runs == 0) {
+        throw std::invalid_argument("run_experiment: runs must be >= 1");
+    }
+    AggregateResult agg;
+    for (unsigned run = 0; run < spec.runs; ++run) {
+        const RunResult r =
+            run_once(spec.config, spec.make_workload, spec.base_seed + run);
+
+        agg.overall_latency.add_run(r.metrics.avg_latency());
+        agg.throughput_tps.add_run(r.metrics.throughput_tps());
+        for (const auto& [level, hist] : r.metrics.by_priority()) {
+            agg.latency_by_priority[level].add_run(hist.mean());
+        }
+        for (const auto& [cid, hist] : r.metrics.by_client()) {
+            agg.latency_by_client[cid.value()].add_run(hist.mean());
+        }
+        agg.total_committed += r.metrics.committed_valid();
+        agg.total_invalid += r.metrics.committed_invalid();
+        agg.total_client_failures += r.metrics.client_failures();
+        agg.all_consistent = agg.all_consistent && r.chains_identical &&
+                             r.states_identical && r.osn_blocks_identical;
+    }
+    return agg;
+}
+
+namespace {
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0') return fallback;
+    return std::strtoull(raw, nullptr, 10);
+}
+}  // namespace
+
+unsigned runs_from_env(unsigned default_runs) {
+    return static_cast<unsigned>(env_u64("FAIRLEDGER_RUNS", default_runs));
+}
+
+std::uint64_t total_txs_from_env(std::uint64_t default_total) {
+    return env_u64("FAIRLEDGER_TOTAL_TXS", default_total);
+}
+
+}  // namespace fl::harness

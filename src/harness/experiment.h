@@ -1,0 +1,73 @@
+// Experiment runner: builds a fresh network per run (new seed), drives a
+// workload to completion, collects metrics, and aggregates across runs —
+// the paper's "each experiment 10 times, 15000 transactions per run, report
+// the average".
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "core/fabric_network.h"
+#include "core/metrics.h"
+#include "harness/workload.h"
+
+namespace fl::harness {
+
+struct ExperimentSpec {
+    core::NetworkConfig config;
+    /// Builds the workload for one run (fresh generator state per run).
+    std::function<Workload()> make_workload;
+    unsigned runs = 5;
+    std::uint64_t base_seed = 1000;
+};
+
+/// Results of a single run.
+struct RunResult {
+    core::MetricsCollector metrics;
+    bool chains_identical = false;
+    bool states_identical = false;
+    bool osn_blocks_identical = false;
+    std::uint64_t blocks = 0;
+    std::uint64_t txs_invalid = 0;
+    std::uint64_t consolidation_failures = 0;
+    std::vector<std::uint64_t> level_totals;  ///< per-level txs ordered (OSN 0)
+};
+
+/// Aggregates across runs.
+struct AggregateResult {
+    RunAggregator overall_latency;                           ///< seconds
+    std::map<PriorityLevel, RunAggregator> latency_by_priority;
+    std::map<std::uint64_t, RunAggregator> latency_by_client;  ///< key: client id
+    RunAggregator throughput_tps;
+    std::uint64_t total_committed = 0;
+    std::uint64_t total_invalid = 0;
+    std::uint64_t total_client_failures = 0;
+    bool all_consistent = true;
+
+    [[nodiscard]] double priority_latency(PriorityLevel level) const {
+        const auto it = latency_by_priority.find(level);
+        return it == latency_by_priority.end() ? 0.0 : it->second.mean();
+    }
+    [[nodiscard]] double client_latency(std::uint64_t client) const {
+        const auto it = latency_by_client.find(client);
+        return it == latency_by_client.end() ? 0.0 : it->second.mean();
+    }
+};
+
+/// Executes one run with the given seed.
+[[nodiscard]] RunResult run_once(core::NetworkConfig config,
+                                 const std::function<Workload()>& make_workload,
+                                 std::uint64_t seed);
+
+/// Executes spec.runs runs (seeds base_seed, base_seed+1, ...) and aggregates.
+[[nodiscard]] AggregateResult run_experiment(const ExperimentSpec& spec);
+
+/// Number of repetitions: the FAIRLEDGER_RUNS environment variable when set,
+/// otherwise `default_runs` (the paper uses 10; benches default lower to
+/// keep CI fast — see EXPERIMENTS.md).
+[[nodiscard]] unsigned runs_from_env(unsigned default_runs);
+
+/// Total transactions per run: FAIRLEDGER_TOTAL_TXS or `default_total`.
+[[nodiscard]] std::uint64_t total_txs_from_env(std::uint64_t default_total);
+
+}  // namespace fl::harness

@@ -1,0 +1,58 @@
+#include "harness/report.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace fl::harness {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+        widths[i] = headers_[i].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            widths[i] = std::max(widths[i], row[i].size());
+        }
+    }
+    const auto print_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << (i == 0 ? "| " : " | ");
+            os << cells[i];
+            os << std::string(widths[i] - cells[i].size(), ' ');
+        }
+        os << " |\n";
+    };
+    print_row(headers_);
+    os << "|";
+    for (const std::size_t w : widths) {
+        os << std::string(w + 2, '-') << "|";
+    }
+    os << "\n";
+    for (const auto& row : rows_) {
+        print_row(row);
+    }
+}
+
+std::string fmt(double v, int decimals) {
+    return format_fixed(v, decimals);
+}
+
+void print_banner(std::ostream& os, const std::string& title,
+                  const std::string& subtitle) {
+    os << "\n=== " << title << " ===\n";
+    if (!subtitle.empty()) {
+        os << subtitle << "\n";
+    }
+    os << "\n";
+}
+
+}  // namespace fl::harness

@@ -1,0 +1,32 @@
+// Fixed-width table printer for benchmark reports — mirrors the series the
+// paper plots so outputs can be compared against the figures at a glance.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fl::harness {
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Renders with column alignment and a header separator.
+    void print(std::ostream& os) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// "1.234" style formatting of a ratio/latency.
+[[nodiscard]] std::string fmt(double v, int decimals = 3);
+
+/// Banner printed above each experiment's output.
+void print_banner(std::ostream& os, const std::string& title,
+                  const std::string& subtitle);
+
+}  // namespace fl::harness

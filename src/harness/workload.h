@@ -1,0 +1,86 @@
+// Workload generation — the Hyperledger Caliper stand-in.
+//
+// Open-loop load: each LoadSpec drives one client at a target rate
+// (deterministic or Poisson inter-arrivals) with a pluggable transaction
+// generator.  The stock generators mirror the paper's workloads:
+//
+//   * priority_class_mix — transactions spread over the three stock
+//     chaincodes whose deploy-time static priorities are high/medium/low,
+//     in a configurable arrival ratio (the paper's 1:2:1 default);
+//   * single_chaincode   — all load on one contract (Figure 6 uses
+//     record_keeper for every client so only *who floods* differs);
+//   * contended_transfers — asset transfers over a small hot-account set,
+//     used to exercise the prioritized validator's conflict resolution.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/fabric_network.h"
+
+namespace fl::harness {
+
+/// Produces one transaction submission on `client`.
+using TxGenerator = std::function<void(client::Client&, Rng&)>;
+
+struct LoadSpec {
+    std::size_t client_index = 0;  ///< index into FabricNetwork::clients()
+    double tps = 100.0;
+    std::uint64_t total_txs = 0;   ///< how many this load submits
+    TxGenerator generate;
+};
+
+struct Workload {
+    std::vector<LoadSpec> loads;
+    bool poisson = true;  ///< exponential vs deterministic inter-arrivals
+
+    /// Splits `total` transactions over the loads proportionally to tps.
+    void distribute_total(std::uint64_t total);
+};
+
+/// Schedules all loads onto the network's simulator.  Keep alive until the
+/// simulation finishes.
+class WorkloadDriver {
+public:
+    WorkloadDriver(core::FabricNetwork& net, Workload workload, Rng rng);
+
+    /// Begins submission at simulation time now.
+    void start();
+
+    [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
+
+private:
+    void schedule_next(std::size_t load_index);
+
+    core::FabricNetwork& net_;
+    Workload workload_;
+    std::vector<Rng> load_rngs_;
+    std::vector<std::uint64_t> remaining_;
+    std::uint64_t submitted_ = 0;
+};
+
+// -- stock transaction generators -------------------------------------------
+
+/// Unique-key transaction on the chaincode of priority class `level`
+/// (0 -> asset_transfer, 1 -> supply_chain, 2 -> record_keeper).
+[[nodiscard]] TxGenerator class_tx_generator(PriorityLevel level);
+
+/// Mixes the class generators with the given arrival weights
+/// (e.g. {1, 2, 1} for the paper's high:med:low = 1:2:1 ratio).
+[[nodiscard]] TxGenerator priority_class_mix(std::vector<double> weights);
+
+/// Every transaction hits `chaincode` with unique keys (non-conflicting).
+[[nodiscard]] TxGenerator single_chaincode(std::string chaincode);
+
+/// Asset transfers over `hot_accounts` pre-seeded accounts — conflict-prone.
+/// Accounts must be seeded via seed_hot_accounts() before traffic.
+[[nodiscard]] TxGenerator contended_transfers(std::uint32_t hot_accounts);
+
+/// Seeds the hot accounts used by contended_transfers on every peer.
+void seed_hot_accounts(core::FabricNetwork& net, std::uint32_t hot_accounts,
+                       long long initial_balance = 1'000'000);
+
+}  // namespace fl::harness

@@ -1,0 +1,42 @@
+#include "ledger/block.h"
+
+namespace fl::ledger {
+
+crypto::Digest BlockHeader::hash() const {
+    Bytes buf;
+    append_u64(buf, number);
+    append(buf, BytesView(previous_hash.data(), previous_hash.size()));
+    append(buf, BytesView(data_hash.data(), data_hash.size()));
+    return crypto::sha256(BytesView(buf.data(), buf.size()));
+}
+
+crypto::Digest Block::compute_data_hash() const {
+    std::vector<crypto::Digest> leaves;
+    leaves.reserve(transactions.size());
+    for (const Envelope& tx : transactions) {
+        leaves.push_back(tx.digest());
+    }
+    return crypto::merkle_root(leaves);
+}
+
+std::size_t Block::wire_size() const {
+    std::size_t n = 128;  // header + metadata
+    for (const Envelope& tx : transactions) {
+        n += tx.wire_size();
+    }
+    return n;
+}
+
+Block make_block(BlockNumber number, const crypto::Digest* previous_hash,
+                 std::vector<Envelope> txs) {
+    Block b;
+    b.header.number = number;
+    if (previous_hash != nullptr) {
+        b.header.previous_hash = *previous_hash;
+    }
+    b.transactions = std::move(txs);
+    b.header.data_hash = b.compute_data_hash();
+    return b;
+}
+
+}  // namespace fl::ledger

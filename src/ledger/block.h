@@ -1,0 +1,53 @@
+// Blocks and block metadata.
+//
+// A block is an ordered list of envelopes plus a header chaining it to its
+// predecessor.  After validation, committers fill in per-transaction
+// validation codes (Fabric stores these as a bit array in block metadata).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "ledger/transaction.h"
+
+namespace fl::ledger {
+
+struct BlockHeader {
+    BlockNumber number = 0;
+    crypto::Digest previous_hash{};
+    crypto::Digest data_hash{};  ///< Merkle root over transaction digests
+
+    /// Hash of this header (the value chained into the next block).
+    [[nodiscard]] crypto::Digest hash() const;
+};
+
+struct Block {
+    BlockHeader header;
+    std::vector<Envelope> transactions;
+
+    /// Filled by committers during validation; empty until then.
+    std::vector<TxValidationCode> validation_codes;
+
+    /// Simulation bookkeeping: when the ordering service cut this block.
+    TimePoint cut_at;
+    /// True when Algorithm 1 terminated via TTC messages (timeout path)
+    /// rather than by filling every quota (size path).
+    bool cut_by_timeout = false;
+
+    [[nodiscard]] std::size_t size() const { return transactions.size(); }
+
+    /// Recomputes the Merkle root over the current transaction list.
+    [[nodiscard]] crypto::Digest compute_data_hash() const;
+
+    /// Approximate wire size for delivery-delay modelling.
+    [[nodiscard]] std::size_t wire_size() const;
+};
+
+/// Builds a block over `txs` chained after `previous` (nullptr for genesis).
+[[nodiscard]] Block make_block(BlockNumber number, const crypto::Digest* previous_hash,
+                               std::vector<Envelope> txs);
+
+}  // namespace fl::ledger

@@ -1,0 +1,67 @@
+#include "ledger/block_store.h"
+
+#include <stdexcept>
+
+namespace fl::ledger {
+
+void BlockStore::append(Block block) {
+    if (block.header.number != chain_.size()) {
+        throw std::invalid_argument("BlockStore::append: non-sequential block number");
+    }
+    if (!chain_.empty() && block.header.previous_hash != chain_.back().header.hash()) {
+        throw std::invalid_argument("BlockStore::append: previous-hash mismatch");
+    }
+    if (block.header.data_hash != block.compute_data_hash()) {
+        throw std::invalid_argument("BlockStore::append: data-hash mismatch");
+    }
+    chain_.push_back(std::move(block));
+}
+
+const Block& BlockStore::at(BlockNumber n) const {
+    if (n >= chain_.size()) {
+        throw std::out_of_range("BlockStore::at: block number beyond tip");
+    }
+    return chain_[n];
+}
+
+const Block& BlockStore::last() const {
+    if (chain_.empty()) {
+        throw std::out_of_range("BlockStore::last: empty chain");
+    }
+    return chain_.back();
+}
+
+std::optional<crypto::Digest> BlockStore::tip_hash() const {
+    if (chain_.empty()) return std::nullopt;
+    return chain_.back().header.hash();
+}
+
+bool BlockStore::verify_chain() const {
+    for (std::size_t i = 0; i < chain_.size(); ++i) {
+        const Block& b = chain_[i];
+        if (b.header.number != i) return false;
+        if (i > 0 && b.header.previous_hash != chain_[i - 1].header.hash()) return false;
+        if (b.header.data_hash != b.compute_data_hash()) return false;
+    }
+    return true;
+}
+
+std::size_t BlockStore::total_transactions() const {
+    std::size_t n = 0;
+    for (const Block& b : chain_) n += b.size();
+    return n;
+}
+
+std::uint64_t BlockStore::chain_fingerprint() const {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const Block& b : chain_) {
+        const crypto::Digest d = b.header.hash();
+        for (std::uint8_t byte : d) {
+            h ^= byte;
+            h *= 0x100000001b3ull;
+        }
+    }
+    return h;
+}
+
+}  // namespace fl::ledger

@@ -1,0 +1,41 @@
+// Append-only block store with hash-chain integrity checking — each peer's
+// copy of the distributed ledger.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ledger/block.h"
+
+namespace fl::ledger {
+
+class BlockStore {
+public:
+    /// Appends `block`.  Throws std::invalid_argument if the block number or
+    /// previous-hash does not extend the current chain tip, or if the data
+    /// hash does not match the transaction list.
+    void append(Block block);
+
+    [[nodiscard]] std::size_t height() const { return chain_.size(); }
+    [[nodiscard]] bool empty() const { return chain_.empty(); }
+
+    [[nodiscard]] const Block& at(BlockNumber n) const;
+    [[nodiscard]] const Block& last() const;
+
+    [[nodiscard]] std::optional<crypto::Digest> tip_hash() const;
+
+    /// Walks the whole chain re-verifying hashes; true iff intact.
+    [[nodiscard]] bool verify_chain() const;
+
+    /// Total transactions across all blocks.
+    [[nodiscard]] std::size_t total_transactions() const;
+
+    /// Fingerprint over all header hashes — equal iff two stores hold the
+    /// identical chain.
+    [[nodiscard]] std::uint64_t chain_fingerprint() const;
+
+private:
+    std::vector<Block> chain_;
+};
+
+}  // namespace fl::ledger

@@ -1,0 +1,83 @@
+#include "ledger/rwset.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace fl::ledger {
+
+bool ReadWriteSet::conflicts_with(const ReadWriteSet& other) const {
+    std::unordered_set<std::string_view> other_writes;
+    other_writes.reserve(other.writes.size());
+    for (const KvWrite& w : other.writes) {
+        other_writes.insert(w.key);
+    }
+    for (const KvRead& r : reads) {                     // rw conflict
+        if (other_writes.contains(r.key)) return true;
+    }
+    for (const KvWrite& w : writes) {                   // ww conflict
+        if (other_writes.contains(w.key)) return true;
+    }
+    for (const RangeRead& rr : range_reads) {           // phantom-ish overlap
+        for (const KvWrite& w : other.writes) {
+            if (w.key >= rr.start_key && w.key < rr.end_key) return true;
+        }
+    }
+    return false;
+}
+
+Bytes ReadWriteSet::serialize() const {
+    Bytes out;
+    append_u32(out, static_cast<std::uint32_t>(reads.size()));
+    for (const KvRead& r : reads) {
+        append_u32(out, static_cast<std::uint32_t>(r.key.size()));
+        append(out, r.key);
+        if (r.version) {
+            out.push_back(1);
+            append_u64(out, r.version->block);
+            append_u32(out, r.version->tx_num);
+        } else {
+            out.push_back(0);
+        }
+    }
+    append_u32(out, static_cast<std::uint32_t>(writes.size()));
+    for (const KvWrite& w : writes) {
+        append_u32(out, static_cast<std::uint32_t>(w.key.size()));
+        append(out, w.key);
+        out.push_back(w.is_delete ? 1 : 0);
+        append_u32(out, static_cast<std::uint32_t>(w.value.size()));
+        append(out, w.value);
+    }
+    append_u32(out, static_cast<std::uint32_t>(range_reads.size()));
+    for (const RangeRead& rr : range_reads) {
+        append_u32(out, static_cast<std::uint32_t>(rr.start_key.size()));
+        append(out, rr.start_key);
+        append_u32(out, static_cast<std::uint32_t>(rr.end_key.size()));
+        append(out, rr.end_key);
+        append_u32(out, static_cast<std::uint32_t>(rr.observed.size()));
+        for (const KvRead& r : rr.observed) {
+            append_u32(out, static_cast<std::uint32_t>(r.key.size()));
+            append(out, r.key);
+            if (r.version) {
+                out.push_back(1);
+                append_u64(out, r.version->block);
+                append_u32(out, r.version->tx_num);
+            } else {
+                out.push_back(0);
+            }
+        }
+    }
+    return out;
+}
+
+std::size_t ReadWriteSet::wire_size() const {
+    std::size_t n = 12;
+    for (const KvRead& r : reads) n += r.key.size() + 13;
+    for (const KvWrite& w : writes) n += w.key.size() + w.value.size() + 9;
+    for (const RangeRead& rr : range_reads) {
+        n += rr.start_key.size() + rr.end_key.size() + 12;
+        for (const KvRead& r : rr.observed) n += r.key.size() + 13;
+    }
+    return n;
+}
+
+}  // namespace fl::ledger

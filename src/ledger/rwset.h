@@ -1,0 +1,77 @@
+// Read-write sets and key versions — Fabric's MVCC building blocks.
+//
+// Endorsers record, for every simulated chaincode execution, the version of
+// each key read and the keys/values written.  Committers later re-check the
+// read versions against current state; any mismatch invalidates the
+// transaction (MVCC_READ_CONFLICT).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace fl::ledger {
+
+/// Version of a committed key: the block and intra-block position of the
+/// transaction that last wrote it.  A key never written has no version.
+struct Version {
+    BlockNumber block = 0;
+    std::uint32_t tx_num = 0;
+
+    friend auto operator<=>(const Version&, const Version&) = default;
+};
+
+/// A read of `key` that observed `version` (nullopt = key absent).
+struct KvRead {
+    std::string key;
+    std::optional<Version> version;
+
+    friend bool operator==(const KvRead&, const KvRead&) = default;
+};
+
+/// A write (or delete) of `key`.
+struct KvWrite {
+    std::string key;
+    std::string value;
+    bool is_delete = false;
+
+    friend bool operator==(const KvWrite&, const KvWrite&) = default;
+};
+
+/// A range read over [start_key, end_key) used for phantom detection: the
+/// reader records every matching key+version; at validation time the same
+/// scan must produce the same result.
+struct RangeRead {
+    std::string start_key;
+    std::string end_key;
+    std::vector<KvRead> observed;
+
+    friend bool operator==(const RangeRead&, const RangeRead&) = default;
+};
+
+struct ReadWriteSet {
+    std::vector<KvRead> reads;
+    std::vector<KvWrite> writes;
+    std::vector<RangeRead> range_reads;
+
+    friend bool operator==(const ReadWriteSet&, const ReadWriteSet&) = default;
+
+    [[nodiscard]] bool empty() const {
+        return reads.empty() && writes.empty() && range_reads.empty();
+    }
+
+    /// True if `this` and `other` conflict: other's writes intersect our
+    /// reads (rw) or writes (ww).
+    [[nodiscard]] bool conflicts_with(const ReadWriteSet& other) const;
+
+    /// Canonical byte serialization (hashed into endorsement responses).
+    [[nodiscard]] Bytes serialize() const;
+
+    /// Approximate wire size in bytes (for network-delay modelling).
+    [[nodiscard]] std::size_t wire_size() const;
+};
+
+}  // namespace fl::ledger

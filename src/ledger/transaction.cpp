@@ -1,0 +1,57 @@
+#include "ledger/transaction.h"
+
+namespace fl::ledger {
+
+Bytes Proposal::serialize() const {
+    Bytes out;
+    append_u64(out, tx_id.value());
+    append_u64(out, channel.value());
+    append_u64(out, client.value());
+    append_u32(out, static_cast<std::uint32_t>(client_identity.size()));
+    append(out, client_identity);
+    append_u32(out, static_cast<std::uint32_t>(chaincode.size()));
+    append(out, chaincode);
+    append_u32(out, static_cast<std::uint32_t>(function.size()));
+    append(out, function);
+    append_u32(out, static_cast<std::uint32_t>(args.size()));
+    for (const std::string& a : args) {
+        append_u32(out, static_cast<std::uint32_t>(a.size()));
+        append(out, a);
+    }
+    return out;
+}
+
+std::size_t Proposal::wire_size() const {
+    std::size_t n = 64 + client_identity.size() + chaincode.size() + function.size();
+    for (const std::string& a : args) n += a.size() + 4;
+    return n;
+}
+
+Bytes Envelope::endorsement_payload(const Proposal& proposal,
+                                    const ReadWriteSet& rwset,
+                                    PriorityLevel priority) {
+    Bytes out = proposal.serialize();
+    append(out, BytesView(rwset.serialize()));
+    append_u32(out, priority);
+    return out;
+}
+
+crypto::Digest Envelope::digest() const {
+    crypto::Sha256 ctx;
+    const Bytes prop = proposal.serialize();
+    ctx.update(BytesView(prop.data(), prop.size()));
+    const Bytes rw = rwset.serialize();
+    ctx.update(BytesView(rw.data(), rw.size()));
+    for (const Endorsement& e : endorsements) {
+        ctx.update(e.endorser_identity);
+        ctx.update(BytesView(e.signature.mac.data(), e.signature.mac.size()));
+    }
+    return ctx.finish();
+}
+
+std::size_t Envelope::wire_size() const {
+    // proposal + rwset + ~200 B per endorsement (cert ref + sig) + overhead
+    return proposal.wire_size() + rwset.wire_size() + endorsements.size() * 200 + 128;
+}
+
+}  // namespace fl::ledger

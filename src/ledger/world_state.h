@@ -1,0 +1,57 @@
+// Versioned key-value world state with MVCC semantics (Fabric's state DB).
+//
+// Every committed write stamps its key with the (block, tx_num) Version of
+// the writing transaction.  Endorsers read through a StateReader that
+// records key versions into a read set; committers validate those versions
+// against the current state before applying writes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+#include "ledger/rwset.h"
+
+namespace fl::ledger {
+
+struct VersionedValue {
+    std::string value;
+    Version version;
+};
+
+class WorldState {
+public:
+    /// Committed value of `key`, if present.
+    [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+    /// Committed version of `key`, nullopt if the key is absent.
+    [[nodiscard]] std::optional<Version> version_of(const std::string& key) const;
+
+    /// Applies one write at `version` (insert/overwrite or delete).
+    void apply(const KvWrite& write, Version version);
+
+    /// Applies all writes of a validated transaction.
+    void apply_all(const ReadWriteSet& rwset, Version version);
+
+    /// All present keys in [start_key, end_key) with their versions,
+    /// in key order.
+    [[nodiscard]] std::vector<KvRead> range(const std::string& start_key,
+                                            const std::string& end_key) const;
+
+    /// True iff every read (and range read) in `rwset` still observes the
+    /// same versions — Fabric's MVCC check.
+    [[nodiscard]] bool validate_reads(const ReadWriteSet& rwset) const;
+
+    [[nodiscard]] std::size_t key_count() const { return state_.size(); }
+
+    /// Order-insensitive fingerprint of the full state; equal states on two
+    /// peers hash equal.  Used by consistency tests.
+    [[nodiscard]] std::uint64_t fingerprint() const;
+
+private:
+    std::map<std::string, VersionedValue, std::less<>> state_;
+};
+
+}  // namespace fl::ledger

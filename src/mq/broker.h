@@ -1,0 +1,210 @@
+// In-simulation message-queue broker — the Apache Kafka stand-in.
+//
+// Substitution note (DESIGN.md §2): Fabric's Kafka orderer relies on exactly
+// three properties of Kafka topics, all provided here:
+//   1. each topic is a totally-ordered, offset-addressed append log;
+//   2. every consumer observes the same sequence (reading at its own pace);
+//   3. multiple producers can interleave records, including control
+//      messages (the time-to-cut markers), and the interleaving is the
+//      same for everyone because it is fixed at append time.
+//
+// The broker lives at a network node; produce requests and consumer pushes
+// pay network delay.  Consumers receive pushes that may be reordered by
+// network jitter, so each Subscription reorders by offset before exposing
+// records — consumption order therefore always equals log order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace fl::mq {
+
+using Offset = std::uint64_t;
+
+/// In-order consumer view of one topic.  Records become visible after
+/// broker->consumer network delay, always in offset order.
+template <typename T>
+class Subscription {
+public:
+    /// True when at least one record is ready to consume.
+    [[nodiscard]] bool has_ready() const { return !ready_.empty(); }
+
+    /// Next ready record without consuming it.
+    [[nodiscard]] const T& peek() const {
+        if (ready_.empty()) throw std::logic_error("Subscription::peek: empty");
+        return ready_.front().second;
+    }
+
+    [[nodiscard]] Offset peek_offset() const {
+        if (ready_.empty()) throw std::logic_error("Subscription::peek_offset: empty");
+        return ready_.front().first;
+    }
+
+    /// Consumes and returns the next record.
+    T pop() {
+        if (ready_.empty()) throw std::logic_error("Subscription::pop: empty");
+        T value = std::move(ready_.front().second);
+        ready_.pop_front();
+        return value;
+    }
+
+    /// Callback fired every time new records become ready (possibly several
+    /// per call).  Used by the block generator to resume Algorithm 1.
+    void set_on_ready(std::function<void()> cb) { on_ready_ = std::move(cb); }
+
+    [[nodiscard]] std::size_t ready_count() const { return ready_.size(); }
+    [[nodiscard]] Offset next_expected_offset() const { return next_offset_; }
+
+private:
+    template <typename U>
+    friend class Broker;
+
+    void on_push(Offset offset, T value) {
+        pending_.emplace(offset, std::move(value));
+        bool advanced = false;
+        for (auto it = pending_.find(next_offset_); it != pending_.end();
+             it = pending_.find(next_offset_)) {
+            ready_.emplace_back(it->first, std::move(it->second));
+            pending_.erase(it);
+            ++next_offset_;
+            advanced = true;
+        }
+        if (advanced && on_ready_) on_ready_();
+    }
+
+    std::map<Offset, T> pending_;           // out-of-order arrivals
+    std::deque<std::pair<Offset, T>> ready_;  // in-order, unconsumed
+    Offset next_offset_ = 0;
+    std::function<void()> on_ready_;
+};
+
+/// Broker configuration: where it lives and how big records are on the wire
+/// (sizes only matter for transmission-delay modelling).
+struct BrokerParams {
+    NodeId node{9000};
+    std::size_t record_overhead_bytes = 64;
+};
+
+template <typename T>
+class Broker {
+public:
+    Broker(sim::Simulator& sim, sim::Network& net, BrokerParams params = {})
+        : sim_(sim), net_(net), params_(params) {}
+
+    Broker(const Broker&) = delete;
+    Broker& operator=(const Broker&) = delete;
+
+    /// Creates a topic; idempotent.
+    void create_topic(const std::string& name) { topics_.try_emplace(name); }
+
+    [[nodiscard]] bool has_topic(const std::string& name) const {
+        return topics_.contains(name);
+    }
+
+    /// Appends `value` to `topic` after producer->broker network delay and
+    /// pushes it to all subscribers.  `size_bytes` is the payload wire size.
+    void produce(const std::string& topic, NodeId producer, std::size_t size_bytes,
+                 T value) {
+        TopicLog& log = topic_ref(topic);
+        const std::size_t wire = size_bytes + params_.record_overhead_bytes;
+        net_.send(producer, params_.node, wire,
+                  [this, &log, wire, value = std::move(value)]() mutable {
+                      append_and_fanout(log, wire, std::move(value));
+                  });
+    }
+
+    /// Appends without network delay — used by unit tests that exercise log
+    /// semantics in isolation.
+    Offset produce_local(const std::string& topic, std::size_t size_bytes, T value) {
+        TopicLog& log = topic_ref(topic);
+        const Offset off = static_cast<Offset>(log.records.size());
+        append_and_fanout(log, size_bytes + params_.record_overhead_bytes,
+                          std::move(value));
+        return off;
+    }
+
+    /// Subscribes a consumer at `consumer_node` from the beginning of the
+    /// topic.  Existing records are replayed (with network delay).
+    std::shared_ptr<Subscription<T>> subscribe(const std::string& topic,
+                                               NodeId consumer_node) {
+        TopicLog& log = topic_ref(topic);
+        auto sub = std::make_shared<Subscription<T>>();
+        log.subscribers.push_back(Subscriber{consumer_node, sub});
+        for (Offset off = 0; off < log.records.size(); ++off) {
+            push_to(log.subscribers.back(), off, log.records[off], log.record_sizes[off]);
+        }
+        return sub;
+    }
+
+    /// Number of records appended to `topic` so far.
+    [[nodiscard]] std::size_t topic_size(const std::string& topic) const {
+        const auto it = topics_.find(topic);
+        return it == topics_.end() ? 0 : it->second.records.size();
+    }
+
+    /// Direct read access for consistency checks in tests.
+    [[nodiscard]] const std::vector<T>& log_of(const std::string& topic) const {
+        const auto it = topics_.find(topic);
+        if (it == topics_.end()) throw std::invalid_argument("Broker: unknown topic " + topic);
+        return it->second.records;
+    }
+
+    [[nodiscard]] NodeId node() const { return params_.node; }
+
+private:
+    struct Subscriber {
+        NodeId node;
+        std::shared_ptr<Subscription<T>> sub;
+    };
+
+    struct TopicLog {
+        std::vector<T> records;
+        std::vector<std::size_t> record_sizes;
+        std::vector<Subscriber> subscribers;
+    };
+
+    TopicLog& topic_ref(const std::string& name) {
+        const auto it = topics_.find(name);
+        if (it == topics_.end()) {
+            throw std::invalid_argument("Broker: unknown topic " + name);
+        }
+        return it->second;
+    }
+
+    void append_and_fanout(TopicLog& log, std::size_t wire_size, T value) {
+        const Offset off = static_cast<Offset>(log.records.size());
+        log.records.push_back(std::move(value));
+        log.record_sizes.push_back(wire_size);
+        for (Subscriber& s : log.subscribers) {
+            push_to(s, off, log.records.back(), wire_size);
+        }
+    }
+
+    void push_to(const Subscriber& s, Offset off, const T& value, std::size_t wire_size) {
+        // Weak pointer so a dropped subscription doesn't dangle.
+        std::weak_ptr<Subscription<T>> weak = s.sub;
+        net_.send(params_.node, s.node, wire_size, [weak, off, value] {
+            if (auto sub = weak.lock()) sub->on_push(off, value);
+        });
+    }
+
+    sim::Simulator& sim_;
+    sim::Network& net_;
+    BrokerParams params_;
+    std::unordered_map<std::string, TopicLog> topics_;
+};
+
+}  // namespace fl::mq

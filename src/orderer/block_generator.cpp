@@ -1,0 +1,269 @@
+#include "orderer/block_generator.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace fl::orderer {
+
+MultiQueueBlockGenerator::MultiQueueBlockGenerator(sim::Simulator& sim,
+                                                   GeneratorConfig config,
+                                                   Subscriptions subs,
+                                                   TtcSender send_ttc,
+                                                   CutCallback on_cut)
+    : sim_(sim),
+      config_(std::move(config)),
+      subs_(std::move(subs)),
+      send_ttc_(std::move(send_ttc)),
+      on_cut_(std::move(on_cut)) {
+    if (subs_.empty() || subs_.size() != config_.quotas.size()) {
+        throw std::invalid_argument(
+            "MultiQueueBlockGenerator: quotas/subscriptions size mismatch");
+    }
+    const std::uint64_t total = std::accumulate(config_.quotas.begin(),
+                                                config_.quotas.end(), std::uint64_t{0});
+    if (total > config_.block_size) {
+        throw std::invalid_argument("MultiQueueBlockGenerator: quotas exceed block size");
+    }
+    if (total == 0) {
+        throw std::invalid_argument("MultiQueueBlockGenerator: all quotas zero");
+    }
+    if (!send_ttc_ || !on_cut_) {
+        throw std::invalid_argument("MultiQueueBlockGenerator: missing callbacks");
+    }
+    buckets_.resize(subs_.size());
+    consume_tokens_ = static_cast<double>(config_.consume_burst);  // start full
+    reset_block_state();
+    for (const auto& sub : subs_) {
+        sub->set_on_ready([this] { pump(); });
+    }
+}
+
+MultiQueueBlockGenerator::~MultiQueueBlockGenerator() {
+    timer_.cancel();
+    consume_timer_.cancel();
+    for (const auto& sub : subs_) {
+        sub->set_on_ready(nullptr);
+    }
+}
+
+void MultiQueueBlockGenerator::refill_tokens() {
+    const double per_record = config_.consume_per_record.as_seconds();
+    const double elapsed = (sim_.now() - consume_refill_at_).as_seconds();
+    consume_refill_at_ = sim_.now();
+    consume_tokens_ = std::min(static_cast<double>(config_.consume_burst),
+                               consume_tokens_ + elapsed / per_record);
+}
+
+bool MultiQueueBlockGenerator::can_consume() {
+    if (config_.consume_per_record == Duration::zero()) return true;
+    refill_tokens();
+    // Epsilon guards against a resume firing one float-rounding early.
+    return consume_tokens_ >= 1.0 - 1e-6;
+}
+
+void MultiQueueBlockGenerator::charge_consume() {
+    if (config_.consume_per_record == Duration::zero()) return;
+    consume_tokens_ -= 1.0;
+}
+
+void MultiQueueBlockGenerator::schedule_consume_resume() {
+    if (consume_timer_.active() || can_consume()) return;
+    const double deficit = 1.0 - consume_tokens_;
+    // Round up (plus a microsecond of slack) so the timer never fires
+    // before a whole token has accumulated.
+    const Duration wait =
+        Duration::from_seconds(deficit * config_.consume_per_record.as_seconds()) +
+        Duration::micros(1);
+    consume_timer_ = sim_.schedule_timer(wait, [this] { pump(); });
+}
+
+void MultiQueueBlockGenerator::reset_block_state() {
+    if (pending_quotas_) {
+        // A committed channel-configuration update takes effect at the next
+        // block boundary; every OSN consumed it at the same log position, so
+        // every OSN switches at the same block number.
+        config_.quotas = std::move(*pending_quotas_);
+        pending_quotas_.reset();
+        ++config_updates_;
+    }
+    remaining_ = config_.quotas;
+    ttc_flag_.assign(subs_.size(), false);
+    for (auto& bucket : buckets_) bucket.clear();
+    collected_ = 0;
+    ttc_sent_ = false;
+    any_tx_seen_ = false;
+    timer_.cancel();
+}
+
+bool MultiQueueBlockGenerator::scan_once() {
+    // One pass of Algorithm 1's level loop (highest priority first).
+    bool progressed = false;
+    const std::size_t n = subs_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        // Consume control markers that precede real traffic even on queues
+        // this block will not read (zero-quota / already-TTC'd levels):
+        // stale TTCs from past blocks, and duplicate TTCs for this block.
+        // Otherwise a best-effort queue whose front is an old marker would
+        // hide its transactions from the timer-arming check forever.
+        while (can_consume() && subs_[i]->has_ready() && subs_[i]->peek().is_ttc() &&
+               subs_[i]->peek().ttc_block <= block_number_) {
+            charge_consume();
+            const OrderedRecord marker = subs_[i]->pop();
+            progressed = true;
+            if (marker.ttc_block < block_number_) {
+                ++stale_ttcs_;
+            } else if (!ttc_flag_[i]) {
+                ttc_flag_[i] = true;
+            }
+            // else: duplicate TTC for this block — ignored (paper §3.3).
+        }
+
+        // READ_QUEUE(i, remaining_[i], block_number_) — Algorithm 2.
+        while (!ttc_flag_[i] && remaining_[i] > 0 && subs_[i]->has_ready() &&
+               can_consume()) {
+            const OrderedRecord& rec = subs_[i]->peek();
+            if (rec.is_ttc()) {
+                if (rec.ttc_block < block_number_) {
+                    charge_consume();
+                    subs_[i]->pop();  // stale marker from an earlier block
+                    ++stale_ttcs_;
+                    progressed = true;
+                    continue;
+                }
+                if (rec.ttc_block > block_number_) {
+                    break;  // belongs to a future block; leave unconsumed
+                }
+                charge_consume();
+                subs_[i]->pop();  // first TTC for this block: stop this queue
+                ttc_flag_[i] = true;
+                progressed = true;
+                break;
+            }
+            if (rec.is_config()) {
+                charge_consume();
+                // Stage the new quotas; they do not occupy a transaction
+                // slot and apply from the next block.  Later updates in the
+                // same block override earlier ones.
+                pending_quotas_ = subs_[i]->pop().new_quotas;
+                progressed = true;
+                continue;
+            }
+            charge_consume();
+            buckets_[i].push_back(rec.envelope);
+            subs_[i]->pop();
+            --remaining_[i];
+            ++collected_;
+            any_tx_seen_ = true;
+            progressed = true;
+        }
+
+        // Surplus transfer (Algorithm 1 lines 17-23): a TTC'd level hands its
+        // leftover quota to the highest-priority level not yet TTC'd.
+        if (ttc_flag_[i] && remaining_[i] > 0) {
+            std::size_t h = n;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (!ttc_flag_[j]) {
+                    h = j;
+                    break;
+                }
+            }
+            if (h != n) {
+                remaining_[h] += remaining_[i];
+                remaining_[i] = 0;
+                progressed = true;
+            }
+        }
+    }
+    return progressed;
+}
+
+bool MultiQueueBlockGenerator::cut_ready() const {
+    // Paper cut condition 1: every level's quota satisfied.
+    bool all_quota = true;
+    // Paper cut condition 2: TTC received on every queue.
+    bool all_ttc = true;
+    for (std::size_t i = 0; i < subs_.size(); ++i) {
+        if (remaining_[i] != 0) all_quota = false;
+        if (!ttc_flag_[i]) all_ttc = false;
+    }
+    return all_quota || all_ttc;
+}
+
+void MultiQueueBlockGenerator::maybe_arm_timer() {
+    if (timer_.active() || ttc_sent_) return;
+    // Fabric arms the batch timer on the first message of a batch.  Beyond
+    // collected transactions, a transaction waiting in a zero-quota
+    // (best-effort) queue must also arm the timer, or a lone low-priority
+    // transaction would never be cut.
+    bool pending_tx = any_tx_seen_;
+    for (const auto& sub : subs_) {
+        if (pending_tx) break;
+        if (sub->has_ready() && !sub->peek().is_ttc()) pending_tx = true;
+    }
+    if (!pending_tx) return;
+    timer_ = sim_.schedule_timer(config_.timeout + config_.clock_skew,
+                                 [this] { on_timeout(); });
+}
+
+void MultiQueueBlockGenerator::on_timeout() {
+    if (ttc_sent_) return;
+    ttc_sent_ = true;
+    ++ttcs_sent_;
+    FL_TRACE("generator: TTC for block " << block_number_);
+    send_ttc_(block_number_);
+}
+
+CutResult MultiQueueBlockGenerator::assemble() {
+    CutResult result;
+    result.number = block_number_;
+    result.per_level_counts.reserve(buckets_.size());
+    std::size_t total = 0;
+    for (const auto& bucket : buckets_) total += bucket.size();
+    result.transactions.reserve(total);
+    for (auto& bucket : buckets_) {
+        result.per_level_counts.push_back(static_cast<std::uint32_t>(bucket.size()));
+        for (auto& env : bucket) {
+            result.transactions.push_back(std::move(env));
+        }
+    }
+    return result;
+}
+
+void MultiQueueBlockGenerator::pump() {
+    if (pumping_) return;  // guard against reentrancy via callbacks
+    pumping_ = true;
+    for (;;) {
+        while (scan_once()) {
+        }
+        if (!cut_ready()) {
+            maybe_arm_timer();
+            schedule_consume_resume();
+            break;
+        }
+        // Determine the cut cause before resetting: quota-path iff every
+        // reserved slot was filled.
+        bool all_quota = true;
+        for (const std::uint32_t r : remaining_) {
+            if (r != 0) {
+                all_quota = false;
+                break;
+            }
+        }
+        CutResult result = assemble();
+        result.by_timeout = !all_quota;
+        FL_DEBUG("generator: cut block " << result.number << " with "
+                                         << result.transactions.size() << " txs"
+                                         << (result.by_timeout ? " (timeout)" : " (size)"));
+        ++blocks_cut_;
+        ++block_number_;
+        reset_block_state();
+        on_cut_(std::move(result));
+        // Loop: records for the next block may already be waiting.
+    }
+    pumping_ = false;
+}
+
+}  // namespace fl::orderer

@@ -1,0 +1,42 @@
+#include "orderer/consolidator.h"
+
+#include <vector>
+
+#include "peer/endorser.h"
+
+namespace fl::orderer {
+
+Consolidator::Consolidator(const policy::ChannelConfig& channel,
+                           const crypto::KeyStore& keys, bool verify_signatures)
+    : channel_(channel),
+      keys_(keys),
+      policy_(policy::make_consolidation_policy(channel.consolidation_spec)),
+      verify_signatures_(verify_signatures) {}
+
+ConsolidationResult Consolidator::consolidate(const ledger::Envelope& envelope) const {
+    ConsolidationResult out;
+    std::vector<PriorityLevel> votes;
+    votes.reserve(envelope.endorsements.size());
+    for (const ledger::Endorsement& e : envelope.endorsements) {
+        if (verify_signatures_ &&
+            !peer::verify_endorsement(envelope.proposal, envelope.rwset, e, keys_)) {
+            continue;
+        }
+        votes.push_back(e.priority);
+    }
+    if (votes.empty()) {
+        out.error = "no valid endorsements";
+        return out;
+    }
+    const std::optional<PriorityLevel> level =
+        policy_->consolidate(votes, channel_.effective_levels());
+    if (!level) {
+        out.error = "consolidation policy unsatisfied (" + policy_->name() + ")";
+        return out;
+    }
+    out.ok = true;
+    out.priority = *level;
+    return out;
+}
+
+}  // namespace fl::orderer

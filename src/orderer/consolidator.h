@@ -1,0 +1,44 @@
+// Priority Consolidator (paper §3.2): the OSN-side step that merges the
+// priorities signed by individual endorsers into the single value that
+// selects the transaction's queue.
+//
+// The consolidator optionally verifies endorsement signatures first (a
+// crash-fault orderer is trusted to do this honestly; committers re-check
+// regardless — see §3.3's note on byzantine configurations).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "crypto/signature.h"
+#include "ledger/transaction.h"
+#include "policy/channel_config.h"
+#include "policy/consolidation_policy.h"
+
+namespace fl::orderer {
+
+struct ConsolidationResult {
+    bool ok = false;
+    PriorityLevel priority = kUnassignedPriority;
+    std::string error;
+};
+
+class Consolidator {
+public:
+    Consolidator(const policy::ChannelConfig& channel, const crypto::KeyStore& keys,
+                 bool verify_signatures = true);
+
+    /// Consolidates the endorser votes of `envelope`.  Only endorsements
+    /// with valid signatures vote when verification is on.
+    [[nodiscard]] ConsolidationResult consolidate(const ledger::Envelope& envelope) const;
+
+    [[nodiscard]] const policy::ConsolidationPolicy& policy() const { return *policy_; }
+
+private:
+    const policy::ChannelConfig& channel_;
+    const crypto::KeyStore& keys_;
+    std::unique_ptr<policy::ConsolidationPolicy> policy_;
+    bool verify_signatures_;
+};
+
+}  // namespace fl::orderer

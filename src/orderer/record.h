@@ -1,0 +1,76 @@
+// Records carried by the ordering-service message queues: either a
+// consolidated transaction envelope or a time-to-cut (TTC) control message.
+//
+// TTC_BN (paper §3.3): when an OSN's local block timer expires it produces a
+// TTC record carrying the current block number into *every* priority queue.
+// Because the queues are totally ordered, the first TTC_BN occupies the same
+// log position for every OSN, which is what restores block-cut consistency
+// across OSNs with unsynchronized timers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "ledger/transaction.h"
+
+namespace fl::orderer {
+
+struct OrderedRecord {
+    enum class Kind { kTransaction, kTimeToCut, kConfigUpdate };
+
+    Kind kind = Kind::kTransaction;
+
+    /// kTransaction: the envelope (consolidated priority already stamped).
+    /// Shared because the broker fans the same record out to every OSN.
+    std::shared_ptr<const ledger::Envelope> envelope;
+
+    /// kTimeToCut: block number the sender wanted to cut.
+    BlockNumber ttc_block = 0;
+    OsnId ttc_sender;
+
+    /// kConfigUpdate: new block-formation quotas (already normalized to the
+    /// block size).  Channel configuration transactions travel through the
+    /// *highest priority* queue — "all channel configuration transactions
+    /// are by default executed at the highest priority level" (paper §4) —
+    /// so every OSN consumes them at the same log position and switches
+    /// policy at the same block boundary.
+    std::vector<std::uint32_t> new_quotas;
+
+    [[nodiscard]] static OrderedRecord transaction(
+        std::shared_ptr<const ledger::Envelope> env) {
+        OrderedRecord r;
+        r.kind = Kind::kTransaction;
+        r.envelope = std::move(env);
+        return r;
+    }
+
+    [[nodiscard]] static OrderedRecord time_to_cut(BlockNumber block, OsnId sender) {
+        OrderedRecord r;
+        r.kind = Kind::kTimeToCut;
+        r.ttc_block = block;
+        r.ttc_sender = sender;
+        return r;
+    }
+
+    [[nodiscard]] static OrderedRecord config_update(std::vector<std::uint32_t> quotas) {
+        OrderedRecord r;
+        r.kind = Kind::kConfigUpdate;
+        r.new_quotas = std::move(quotas);
+        return r;
+    }
+
+    [[nodiscard]] bool is_ttc() const { return kind == Kind::kTimeToCut; }
+    [[nodiscard]] bool is_config() const { return kind == Kind::kConfigUpdate; }
+
+    [[nodiscard]] std::size_t wire_size() const {
+        switch (kind) {
+        case Kind::kTransaction: return envelope->wire_size();
+        case Kind::kTimeToCut: return 24;
+        case Kind::kConfigUpdate: return 64 + new_quotas.size() * 4;
+        }
+        return 24;
+    }
+};
+
+}  // namespace fl::orderer

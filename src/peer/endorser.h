@@ -1,0 +1,38 @@
+// Endorsement logic: simulate the chaincode, compute the priority vote,
+// sign (proposal, rwset, priority).  Pure with respect to the simulator —
+// the Peer wraps this in CPU-cost accounting and network replies.
+#pragma once
+
+#include <memory>
+
+#include "chaincode/registry.h"
+#include "crypto/signature.h"
+#include "ledger/transaction.h"
+#include "ledger/world_state.h"
+#include "peer/priority_calculator.h"
+
+namespace fl::peer {
+
+/// Result of simulating one proposal at one endorser.
+struct EndorsementResult {
+    bool ok = false;
+    std::string error;                 ///< chaincode failure message if !ok
+    ledger::ReadWriteSet rwset;
+    ledger::Endorsement endorsement;
+};
+
+/// Executes `proposal` against `state` via `registry`, votes a priority with
+/// `calculator` and signs as `identity`.
+[[nodiscard]] EndorsementResult endorse(
+    const ledger::Proposal& proposal, const ledger::WorldState& state,
+    const chaincode::Registry& registry, PriorityCalculator& calculator,
+    const CalculatorContext& ctx, const crypto::KeyStore& keys,
+    const crypto::Identity& identity);
+
+/// Client-side check of one endorsement against the envelope's rwset.
+[[nodiscard]] bool verify_endorsement(const ledger::Proposal& proposal,
+                                      const ledger::ReadWriteSet& rwset,
+                                      const ledger::Endorsement& endorsement,
+                                      const crypto::KeyStore& keys);
+
+}  // namespace fl::peer

@@ -1,0 +1,70 @@
+#include "peer/priority_calculator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fl::peer {
+
+namespace {
+PriorityLevel clamp_level(PriorityLevel level, std::uint32_t levels) {
+    return std::min<PriorityLevel>(level, levels > 0 ? levels - 1 : 0);
+}
+}  // namespace
+
+PriorityLevel StaticChaincodeCalculator::calculate(const ledger::Proposal& proposal,
+                                                   const CalculatorContext& ctx) {
+    if (ctx.registry == nullptr) {
+        throw std::logic_error("StaticChaincodeCalculator: no registry in context");
+    }
+    return clamp_level(ctx.registry->static_priority(proposal.chaincode),
+                       ctx.priority_levels);
+}
+
+ClientClassCalculator::ClientClassCalculator(
+    std::unordered_map<ClientId, PriorityLevel> classes, PriorityLevel default_level)
+    : classes_(std::move(classes)), default_level_(default_level) {}
+
+PriorityLevel ClientClassCalculator::calculate(const ledger::Proposal& proposal,
+                                               const CalculatorContext& ctx) {
+    const auto it = classes_.find(proposal.client);
+    const PriorityLevel level = it == classes_.end() ? default_level_ : it->second;
+    return clamp_level(level, ctx.priority_levels);
+}
+
+LoadAwareCalculator::LoadAwareCalculator(std::unique_ptr<PriorityCalculator> base,
+                                         double load_threshold_tps)
+    : base_(std::move(base)), load_threshold_tps_(load_threshold_tps) {
+    if (!base_) throw std::invalid_argument("LoadAwareCalculator: null base");
+}
+
+PriorityLevel LoadAwareCalculator::calculate(const ledger::Proposal& proposal,
+                                             const CalculatorContext& ctx) {
+    PriorityLevel level = base_->calculate(proposal, ctx);
+    if (ctx.observed_load_tps > load_threshold_tps_) {
+        ++level;  // demote under load
+    }
+    return clamp_level(level, ctx.priority_levels);
+}
+
+NoisyCalculator::NoisyCalculator(std::unique_ptr<PriorityCalculator> base,
+                                 double flip_probability, Rng rng)
+    : base_(std::move(base)), flip_probability_(flip_probability), rng_(rng) {
+    if (!base_) throw std::invalid_argument("NoisyCalculator: null base");
+}
+
+PriorityLevel NoisyCalculator::calculate(const ledger::Proposal& proposal,
+                                         const CalculatorContext& ctx) {
+    PriorityLevel level = base_->calculate(proposal, ctx);
+    if (rng_.chance(flip_probability_)) {
+        if (level == 0) {
+            ++level;
+        } else if (level + 1 >= ctx.priority_levels) {
+            --level;
+        } else {
+            level = rng_.chance(0.5) ? level + 1 : level - 1;
+        }
+    }
+    return clamp_level(level, ctx.priority_levels);
+}
+
+}  // namespace fl::peer

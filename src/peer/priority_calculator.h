@@ -1,0 +1,101 @@
+// Priority Calculators (paper §3.1).
+//
+// Each endorsing peer independently assigns a priority to every transaction
+// it endorses; the value is signed into the endorsement so clients cannot
+// forge it.  The assignment criteria are pluggable and fixed "apriori":
+//
+//   * StaticChaincodeCalculator — the paper's primary example: priority
+//     assigned per chaincode at deployment time;
+//   * ClientClassCalculator    — per-client classes, used by the resource-
+//     fairness experiment (Figure 6) where each client maps to one queue;
+//   * LoadAwareCalculator      — the paper's dynamic example: priority
+//     degraded when this endorser observes high load from an application;
+//   * NoisyCalculator          — decorator that perturbs another
+//     calculator's vote with some probability, modelling endorser
+//     disagreement (exercises the consolidation policies).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "chaincode/registry.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "ledger/transaction.h"
+
+namespace fl::peer {
+
+/// Everything an endorser-side calculator may consult.
+struct CalculatorContext {
+    const chaincode::Registry* registry = nullptr;
+    /// This endorser's recent proposal arrival rate (proposals/sec) —
+    /// the "load perceived by different nodes" of §3.
+    double observed_load_tps = 0.0;
+    std::uint32_t priority_levels = 3;
+};
+
+class PriorityCalculator {
+public:
+    virtual ~PriorityCalculator() = default;
+
+    /// Priority for `proposal` (0 = highest).  Must return < levels.
+    [[nodiscard]] virtual PriorityLevel calculate(
+        const ledger::Proposal& proposal, const CalculatorContext& ctx) = 0;
+};
+
+/// Deploy-time static priority of the invoked chaincode.
+class StaticChaincodeCalculator final : public PriorityCalculator {
+public:
+    [[nodiscard]] PriorityLevel calculate(const ledger::Proposal& proposal,
+                                          const CalculatorContext& ctx) override;
+};
+
+/// Fixed mapping client -> level; unmapped clients get `default_level`.
+class ClientClassCalculator final : public PriorityCalculator {
+public:
+    explicit ClientClassCalculator(std::unordered_map<ClientId, PriorityLevel> classes,
+                                   PriorityLevel default_level = 0);
+
+    [[nodiscard]] PriorityLevel calculate(const ledger::Proposal& proposal,
+                                          const CalculatorContext& ctx) override;
+
+private:
+    std::unordered_map<ClientId, PriorityLevel> classes_;
+    PriorityLevel default_level_;
+};
+
+/// Starts from a base calculator and demotes by one level while the
+/// endorser-observed load exceeds `load_threshold_tps`.
+class LoadAwareCalculator final : public PriorityCalculator {
+public:
+    LoadAwareCalculator(std::unique_ptr<PriorityCalculator> base,
+                        double load_threshold_tps);
+
+    [[nodiscard]] PriorityLevel calculate(const ledger::Proposal& proposal,
+                                          const CalculatorContext& ctx) override;
+
+private:
+    std::unique_ptr<PriorityCalculator> base_;
+    double load_threshold_tps_;
+};
+
+/// With probability `flip_probability`, perturbs the base vote by ±1 level.
+class NoisyCalculator final : public PriorityCalculator {
+public:
+    NoisyCalculator(std::unique_ptr<PriorityCalculator> base, double flip_probability,
+                    Rng rng);
+
+    [[nodiscard]] PriorityLevel calculate(const ledger::Proposal& proposal,
+                                          const CalculatorContext& ctx) override;
+
+private:
+    std::unique_ptr<PriorityCalculator> base_;
+    double flip_probability_;
+    Rng rng_;
+};
+
+/// Factory used by network builders: one fresh calculator per endorser.
+using CalculatorFactory = std::function<std::unique_ptr<PriorityCalculator>()>;
+
+}  // namespace fl::peer

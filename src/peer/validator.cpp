@@ -1,0 +1,141 @@
+#include "peer/validator.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "peer/endorser.h"
+
+namespace fl::peer {
+
+namespace {
+
+/// Accumulated effects of transactions already accepted in this block.
+struct AcceptedWrites {
+    std::unordered_set<std::string> keys;
+
+    void add(const ledger::ReadWriteSet& rwset) {
+        for (const ledger::KvWrite& w : rwset.writes) {
+            keys.insert(w.key);
+        }
+    }
+};
+
+/// First failing intra-block conflict of `rwset` against accepted writes.
+TxValidationCode intra_block_conflict(const ledger::ReadWriteSet& rwset,
+                                      const AcceptedWrites& accepted) {
+    for (const ledger::KvRead& r : rwset.reads) {
+        if (accepted.keys.contains(r.key)) return TxValidationCode::kMvccReadConflict;
+    }
+    for (const ledger::RangeRead& rr : rwset.range_reads) {
+        for (const std::string& key : accepted.keys) {
+            if (key >= rr.start_key && key < rr.end_key) {
+                return TxValidationCode::kPhantomReadConflict;
+            }
+        }
+    }
+    for (const ledger::KvWrite& w : rwset.writes) {
+        if (accepted.keys.contains(w.key)) return TxValidationCode::kWriteConflict;
+    }
+    return TxValidationCode::kValid;
+}
+
+TxValidationCode check_endorsements(const ledger::Envelope& tx,
+                                    const policy::ChannelConfig& channel,
+                                    const policy::ConsolidationPolicy* consolidation,
+                                    const crypto::KeyStore& keys,
+                                    const ValidatorConfig& cfg) {
+    std::set<OrgId> valid_orgs;
+    std::vector<PriorityLevel> votes;
+    votes.reserve(tx.endorsements.size());
+    for (const ledger::Endorsement& e : tx.endorsements) {
+        if (!verify_endorsement(tx.proposal, tx.rwset, e, keys)) {
+            continue;  // forged / stale endorsement simply doesn't count
+        }
+        valid_orgs.insert(e.org);
+        votes.push_back(e.priority);
+    }
+    if (!channel.endorsement_policy.satisfied_by(valid_orgs)) {
+        return TxValidationCode::kEndorsementPolicyFailure;
+    }
+    if (cfg.verify_consolidation) {
+        if (consolidation == nullptr) {
+            return TxValidationCode::kBadPriorityConsolidation;
+        }
+        const auto expect =
+            consolidation->consolidate(votes, channel.effective_levels());
+        if (!expect || *expect != tx.consolidated_priority) {
+            return TxValidationCode::kBadPriorityConsolidation;
+        }
+    }
+    return TxValidationCode::kValid;
+}
+
+}  // namespace
+
+ValidationOutcome validate_block(const ledger::Block& block,
+                                 const ledger::WorldState& state,
+                                 const policy::ChannelConfig& channel,
+                                 const policy::ConsolidationPolicy* consolidation,
+                                 const crypto::KeyStore& keys,
+                                 std::unordered_set<std::uint64_t>& seen_tx_ids,
+                                 const ValidatorConfig& cfg) {
+    const std::size_t n = block.transactions.size();
+    ValidationOutcome out;
+    out.codes.assign(n, TxValidationCode::kValid);
+
+    // Processing order: block order, or stable priority order for the
+    // prioritized validator.  Stability preserves per-level FIFO, so equal-
+    // priority conflicts still resolve to the earlier transaction (§3.4).
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    if (cfg.prioritized) {
+        std::stable_sort(order.begin(), order.end(),
+                         [&block](std::size_t a, std::size_t b) {
+                             return block.transactions[a].consolidated_priority <
+                                    block.transactions[b].consolidated_priority;
+                         });
+    }
+
+    AcceptedWrites accepted;
+    for (const std::size_t idx : order) {
+        const ledger::Envelope& tx = block.transactions[idx];
+
+        if (!seen_tx_ids.insert(tx.tx_id().value()).second) {
+            out.codes[idx] = TxValidationCode::kDuplicateTxId;
+            continue;
+        }
+        const TxValidationCode endorse_code =
+            check_endorsements(tx, channel, consolidation, keys, cfg);
+        if (!is_valid(endorse_code)) {
+            out.codes[idx] = endorse_code;
+            continue;
+        }
+        if (!state.validate_reads(tx.rwset)) {
+            out.codes[idx] = TxValidationCode::kMvccReadConflict;
+            continue;
+        }
+        const TxValidationCode conflict = intra_block_conflict(tx.rwset, accepted);
+        if (!is_valid(conflict)) {
+            out.codes[idx] = conflict;
+            continue;
+        }
+        accepted.add(tx.rwset);
+        ++out.valid_count;
+    }
+    return out;
+}
+
+void apply_block(const ledger::Block& block, const ValidationOutcome& outcome,
+                 ledger::WorldState& state) {
+    for (std::size_t i = 0; i < block.transactions.size(); ++i) {
+        if (!is_valid(outcome.codes[i])) continue;
+        state.apply_all(block.transactions[i].rwset,
+                        ledger::Version{block.header.number,
+                                        static_cast<std::uint32_t>(i)});
+    }
+}
+
+}  // namespace fl::peer

@@ -1,0 +1,52 @@
+// Channel configuration (paper §3/§4): the per-channel parameters fixed at
+// channel-creation time — number of priority levels, the block formation
+// policy, the priority consolidation policy, the endorsement policy, and the
+// block-cutting parameters.  `priority_enabled = false` configures the
+// vanilla-Fabric baseline (single FIFO queue, no consolidation, block-order
+// validation) that every figure normalizes against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "policy/block_formation_policy.h"
+#include "policy/endorsement_policy.h"
+
+namespace fl::policy {
+
+struct ChannelConfig {
+    ChannelId id{1};
+
+    /// Number of priority levels N (ignored when !priority_enabled).
+    std::uint32_t priority_levels = 3;
+
+    /// False = vanilla Fabric: one FIFO queue, FIFO blocks, no priorities.
+    bool priority_enabled = true;
+
+    /// TR ratios for the multi-queue block generator.
+    BlockFormationPolicy block_policy{std::vector<std::uint32_t>{2, 3, 1}};
+
+    /// Spec for make_consolidation_policy(); evaluated by OSNs and re-checked
+    /// by committers.
+    std::string consolidation_spec = "kofn:2";
+
+    EndorsementPolicy endorsement_policy = EndorsementPolicy::k_of_n_orgs(2, 4);
+
+    /// Block cutting: maximum transactions per block (BS) and batch timeout.
+    std::uint32_t block_size = 500;
+    Duration block_timeout = Duration::seconds(1);
+
+    /// Kafka topic name for priority level `level` on this channel.
+    [[nodiscard]] std::string topic_for_level(PriorityLevel level) const {
+        return "ch" + std::to_string(id.value()) + "-p" + std::to_string(level);
+    }
+
+    /// Effective level count: 1 when priorities are disabled.
+    [[nodiscard]] std::uint32_t effective_levels() const {
+        return priority_enabled ? priority_levels : 1;
+    }
+};
+
+}  // namespace fl::policy

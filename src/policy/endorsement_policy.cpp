@@ -1,0 +1,122 @@
+#include "policy/endorsement_policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fl::policy {
+
+bool EndorsementPolicy::satisfied_by(const std::set<OrgId>& orgs) const {
+    return eval(*root_, orgs);
+}
+
+bool EndorsementPolicy::eval(const Node& node, const std::set<OrgId>& orgs) {
+    switch (node.kind) {
+    case Kind::kOrg:
+        return orgs.contains(node.org);
+    case Kind::kOutOf: {
+        std::size_t satisfied = 0;
+        for (const NodePtr& child : node.children) {
+            if (eval(*child, orgs)) {
+                if (++satisfied >= node.k) return true;
+            }
+        }
+        return satisfied >= node.k;  // covers k == 0
+    }
+    }
+    return false;
+}
+
+std::size_t EndorsementPolicy::min_orgs_required() const {
+    return min_cost(*root_);
+}
+
+std::size_t EndorsementPolicy::min_cost(const Node& node) {
+    switch (node.kind) {
+    case Kind::kOrg:
+        return 1;
+    case Kind::kOutOf: {
+        // Upper bound on the true minimum (children may share orgs); exact
+        // for the disjoint-org policies used in practice.
+        std::vector<std::size_t> costs;
+        costs.reserve(node.children.size());
+        for (const NodePtr& child : node.children) {
+            costs.push_back(min_cost(*child));
+        }
+        std::sort(costs.begin(), costs.end());
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < node.k && i < costs.size(); ++i) {
+            total += costs[i];
+        }
+        return total;
+    }
+    }
+    return 0;
+}
+
+void EndorsementPolicy::print(const Node& node, std::string& out) {
+    switch (node.kind) {
+    case Kind::kOrg:
+        out += "Org(" + std::to_string(node.org.value()) + ")";
+        return;
+    case Kind::kOutOf:
+        out += "OutOf(" + std::to_string(node.k);
+        for (const NodePtr& child : node.children) {
+            out += ", ";
+            print(*child, out);
+        }
+        out += ")";
+        return;
+    }
+}
+
+std::string EndorsementPolicy::to_string() const {
+    std::string out;
+    print(*root_, out);
+    return out;
+}
+
+EndorsementPolicy EndorsementPolicy::org(OrgId o) {
+    auto node = std::make_shared<Node>();
+    node->kind = Kind::kOrg;
+    node->org = o;
+    return EndorsementPolicy(std::move(node));
+}
+
+EndorsementPolicy EndorsementPolicy::out_of(std::size_t k,
+                                            std::vector<EndorsementPolicy> children) {
+    if (children.empty()) {
+        throw std::invalid_argument("EndorsementPolicy::out_of: no children");
+    }
+    if (k > children.size()) {
+        throw std::invalid_argument("EndorsementPolicy::out_of: k exceeds children");
+    }
+    auto node = std::make_shared<Node>();
+    node->kind = Kind::kOutOf;
+    node->k = k;
+    node->children.reserve(children.size());
+    for (EndorsementPolicy& child : children) {
+        node->children.push_back(std::move(child.root_));
+    }
+    return EndorsementPolicy(std::move(node));
+}
+
+EndorsementPolicy EndorsementPolicy::all_of(std::vector<EndorsementPolicy> children) {
+    const std::size_t k = children.size();
+    return out_of(k, std::move(children));
+}
+
+EndorsementPolicy EndorsementPolicy::any_of(std::vector<EndorsementPolicy> children) {
+    return out_of(1, std::move(children));
+}
+
+EndorsementPolicy EndorsementPolicy::k_of_n_orgs(std::size_t k, std::size_t n) {
+    if (n == 0) throw std::invalid_argument("k_of_n_orgs: n must be >= 1");
+    std::vector<EndorsementPolicy> children;
+    children.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        children.push_back(org(OrgId{i}));
+    }
+    return out_of(k, std::move(children));
+}
+
+}  // namespace fl::policy

@@ -1,0 +1,60 @@
+// Endorsement policies: boolean expressions over organization principals,
+// mirroring Fabric's signature policies (AND / OR / k-out-of over orgs).
+//
+// A transaction satisfies the policy when the set of organizations whose
+// endorsements carry valid signatures satisfies the expression.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fl::policy {
+
+class EndorsementPolicy {
+public:
+    /// True iff the endorsing `orgs` satisfy the policy.
+    [[nodiscard]] bool satisfied_by(const std::set<OrgId>& orgs) const;
+
+    /// Smallest number of distinct orgs that can satisfy the policy —
+    /// clients use it to pick how many endorsers to contact.
+    [[nodiscard]] std::size_t min_orgs_required() const;
+
+    /// Human-readable form, e.g. "OutOf(2, Org(0), Org(1), Org(2))".
+    [[nodiscard]] std::string to_string() const;
+
+    // -- builders ----------------------------------------------------------
+    [[nodiscard]] static EndorsementPolicy org(OrgId o);
+    [[nodiscard]] static EndorsementPolicy all_of(std::vector<EndorsementPolicy> children);
+    [[nodiscard]] static EndorsementPolicy any_of(std::vector<EndorsementPolicy> children);
+    [[nodiscard]] static EndorsementPolicy out_of(std::size_t k,
+                                                  std::vector<EndorsementPolicy> children);
+
+    /// Convenience: k distinct signatures out of orgs {0..n-1}.
+    [[nodiscard]] static EndorsementPolicy k_of_n_orgs(std::size_t k, std::size_t n);
+
+private:
+    enum class Kind { kOrg, kOutOf };
+
+    struct Node;
+    using NodePtr = std::shared_ptr<const Node>;
+    struct Node {
+        Kind kind = Kind::kOrg;
+        OrgId org;
+        std::size_t k = 0;  // for kOutOf: required child count
+        std::vector<NodePtr> children;
+    };
+
+    explicit EndorsementPolicy(NodePtr root) : root_(std::move(root)) {}
+
+    static bool eval(const Node& node, const std::set<OrgId>& orgs);
+    static std::size_t min_cost(const Node& node);
+    static void print(const Node& node, std::string& out);
+
+    NodePtr root_;
+};
+
+}  // namespace fl::policy

@@ -1,0 +1,43 @@
+#include "sim/cpu.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fl::sim {
+
+CpuStation::CpuStation(Simulator& sim, unsigned parallelism) : sim_(sim) {
+    if (parallelism == 0) {
+        throw std::invalid_argument("CpuStation: parallelism must be >= 1");
+    }
+    for (unsigned i = 0; i < parallelism; ++i) {
+        free_at_.push(TimePoint::origin());
+    }
+}
+
+void CpuStation::submit(Duration cost, EventFn done) {
+    if (cost < Duration::zero()) cost = Duration::zero();
+    const TimePoint earliest_free = free_at_.top();
+    free_at_.pop();
+    const TimePoint start = std::max(sim_.now(), earliest_free);
+    const TimePoint finish = start + cost;
+    free_at_.push(finish);
+    busy_ += cost;
+    sim_.schedule_at(finish, [this, done = std::move(done)] {
+        ++completed_;
+        done();
+    });
+}
+
+Duration CpuStation::current_backlog() const {
+    const TimePoint earliest_free = free_at_.top();
+    if (earliest_free <= sim_.now()) return Duration::zero();
+    return earliest_free - sim_.now();
+}
+
+double CpuStation::utilization() const {
+    const double elapsed = sim_.now().as_seconds();
+    if (elapsed <= 0.0) return 0.0;
+    return busy_.as_seconds() / (elapsed * parallelism());
+}
+
+}  // namespace fl::sim

@@ -1,0 +1,48 @@
+// CPU service stations.
+//
+// Real Fabric nodes saturate: a 32-core server can only validate so many
+// endorsement signatures per second.  `CpuStation` models a node's compute
+// as `k` identical servers with FCFS dispatch: a submitted job starts on the
+// earliest-free server (not before "now") and completes `cost` later.  Under
+// light load jobs run immediately; past capacity a queue builds and sojourn
+// times grow — which is what produces the latency knees in the paper's
+// Figures 5 and 6.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace fl::sim {
+
+class CpuStation {
+public:
+    /// `parallelism` is the number of independent servers (>= 1).
+    CpuStation(Simulator& sim, unsigned parallelism);
+
+    /// Submits a job costing `cost` CPU time; `done` fires at completion.
+    void submit(Duration cost, EventFn done);
+
+    /// Time a job submitted now would wait before starting.
+    [[nodiscard]] Duration current_backlog() const;
+
+    [[nodiscard]] unsigned parallelism() const
+    { return static_cast<unsigned>(free_at_.size()); }
+    [[nodiscard]] std::uint64_t jobs_completed() const { return completed_; }
+    [[nodiscard]] Duration busy_time() const { return busy_; }
+
+    /// Utilization over [origin, now]: busy server-time / (k * elapsed).
+    [[nodiscard]] double utilization() const;
+
+private:
+    Simulator& sim_;
+    // Min-heap of server free timestamps.
+    std::priority_queue<TimePoint, std::vector<TimePoint>, std::greater<>> free_at_;
+    std::uint64_t completed_ = 0;
+    Duration busy_ = Duration::zero();
+};
+
+}  // namespace fl::sim

@@ -1,0 +1,34 @@
+#include "sim/network.h"
+
+namespace fl::sim {
+
+Network::Network(Simulator& sim, Rng rng, LinkParams defaults)
+    : sim_(sim), rng_(rng), defaults_(defaults) {}
+
+void Network::set_link(NodeId from, NodeId to, LinkParams params) {
+    overrides_[{from, to}] = params;
+}
+
+const LinkParams& Network::params_for(NodeId from, NodeId to) const {
+    const auto it = overrides_.find({from, to});
+    return it == overrides_.end() ? defaults_ : it->second;
+}
+
+Duration Network::sample_delay(NodeId from, NodeId to, std::size_t size_bytes) {
+    const LinkParams& p = params_for(from, to);
+    const double transmit_s =
+        p.bandwidth_bps > 0.0 ? static_cast<double>(size_bytes) * 8.0 / p.bandwidth_bps : 0.0;
+    const double jitter_s =
+        rng_.normal(0.0, p.jitter_stddev.as_seconds(), /*non_negative=*/false);
+    double total = p.base_latency.as_seconds() + transmit_s + jitter_s;
+    if (total < 0.0) total = 0.0;
+    return Duration::from_seconds(total);
+}
+
+void Network::send(NodeId from, NodeId to, std::size_t size_bytes, EventFn deliver) {
+    ++messages_;
+    bytes_ += size_bytes;
+    sim_.schedule_after(sample_delay(from, to, size_bytes), std::move(deliver));
+}
+
+}  // namespace fl::sim

@@ -1,0 +1,52 @@
+// Network model: point-to-point message delivery with propagation latency,
+// transmission time (size / bandwidth) and jitter.  All experiment nodes sit
+// on one LAN segment, matching the paper's single-datacenter SoftLayer
+// deployment; per-pair overrides allow modelling a remote organization.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace fl::sim {
+
+struct LinkParams {
+    Duration base_latency = Duration::micros(500);  ///< one-way propagation
+    double bandwidth_bps = 1e9;                     ///< 1 Gbps
+    Duration jitter_stddev = Duration::micros(50);
+};
+
+class Network {
+public:
+    Network(Simulator& sim, Rng rng, LinkParams defaults = {});
+
+    /// Overrides the link parameters for the (from, to) ordered pair.
+    void set_link(NodeId from, NodeId to, LinkParams params);
+
+    /// Delivers a message of `size_bytes` from `from` to `to`, invoking
+    /// `deliver` at the receiver after the modelled delay.
+    void send(NodeId from, NodeId to, std::size_t size_bytes, EventFn deliver);
+
+    /// The delay the next send on this link would experience (samples jitter).
+    [[nodiscard]] Duration sample_delay(NodeId from, NodeId to, std::size_t size_bytes);
+
+    [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
+    [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
+
+private:
+    [[nodiscard]] const LinkParams& params_for(NodeId from, NodeId to) const;
+
+    Simulator& sim_;
+    Rng rng_;
+    LinkParams defaults_;
+    std::map<std::pair<NodeId, NodeId>, LinkParams> overrides_;
+    std::uint64_t messages_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+}  // namespace fl::sim

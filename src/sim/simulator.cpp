@@ -1,0 +1,76 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+namespace fl::sim {
+
+void TimerHandle::cancel() {
+    if (cancelled_) *cancelled_ = true;
+}
+
+bool TimerHandle::active() const {
+    return cancelled_ && !*cancelled_;
+}
+
+void Simulator::schedule_at(TimePoint t, EventFn fn) {
+    if (t < now_) t = now_;
+    queue_.push(Event{t, next_seq_++, std::move(fn), nullptr});
+}
+
+void Simulator::schedule_after(Duration delay, EventFn fn) {
+    if (delay < Duration::zero()) delay = Duration::zero();
+    schedule_at(now_ + delay, std::move(fn));
+}
+
+TimerHandle Simulator::schedule_timer(Duration delay, EventFn fn) {
+    if (delay < Duration::zero()) delay = Duration::zero();
+    auto cancelled = std::make_shared<bool>(false);
+    queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), cancelled});
+    return TimerHandle{std::move(cancelled)};
+}
+
+bool Simulator::run_one() {
+    // The top event is copied out before popping because the callback may
+    // schedule new events (mutating the queue).
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    if (ev.cancelled && *ev.cancelled) {
+        return false;  // cancelled timers burn no execution budget
+    }
+    if (ev.cancelled) {
+        *ev.cancelled = true;  // a fired timer is no longer active
+    }
+    ev.fn();
+    ++executed_;
+    if (event_limit_ != 0 && executed_ > event_limit_) {
+        throw std::runtime_error("Simulator: event limit exceeded (runaway experiment?)");
+    }
+    return true;
+}
+
+std::uint64_t Simulator::run() {
+    std::uint64_t n = 0;
+    while (!queue_.empty()) {
+        if (run_one()) ++n;
+    }
+    return n;
+}
+
+std::uint64_t Simulator::run_until(TimePoint deadline) {
+    std::uint64_t n = 0;
+    while (!queue_.empty() && queue_.top().at <= deadline) {
+        if (run_one()) ++n;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return n;
+}
+
+bool Simulator::step() {
+    while (!queue_.empty()) {
+        if (run_one()) return true;  // skip cancelled entries
+    }
+    return false;
+}
+
+}  // namespace fl::sim

@@ -1,0 +1,95 @@
+// Deterministic single-threaded discrete-event simulator.
+//
+// Every component of the blockchain network (clients, peers, OSNs, the mq
+// broker) runs as callbacks scheduled on one virtual clock.  Events at equal
+// timestamps fire in scheduling order (a monotonic sequence number breaks
+// ties), so a given seed always reproduces the identical execution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace fl::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle for a cancellable scheduled event (e.g. a block-cut timer that is
+/// disarmed when the block fills up early).  Cheap to copy; cancelling an
+/// already-fired or empty handle is a no-op.
+class TimerHandle {
+public:
+    TimerHandle() = default;
+
+    void cancel();
+    [[nodiscard]] bool active() const;
+
+private:
+    friend class Simulator;
+    explicit TimerHandle(std::shared_ptr<bool> cancelled)
+        : cancelled_(std::move(cancelled)) {}
+    std::shared_ptr<bool> cancelled_;
+};
+
+class Simulator {
+public:
+    Simulator() = default;
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    [[nodiscard]] TimePoint now() const { return now_; }
+
+    /// Schedules `fn` to run at absolute time `t` (>= now).
+    void schedule_at(TimePoint t, EventFn fn);
+
+    /// Schedules `fn` to run `delay` after now.  Negative delays clamp to 0.
+    void schedule_after(Duration delay, EventFn fn);
+
+    /// Schedules a cancellable event.
+    TimerHandle schedule_timer(Duration delay, EventFn fn);
+
+    /// Runs until the event queue drains.  Returns the number of events run.
+    std::uint64_t run();
+
+    /// Runs events with time <= `deadline`; the clock ends at `deadline` if
+    /// the queue drained earlier.  Returns the number of events run.
+    std::uint64_t run_until(TimePoint deadline);
+
+    /// Executes the single next event; false if the queue is empty.
+    bool step();
+
+    [[nodiscard]] bool empty() const { return queue_.empty(); }
+    [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+    [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+    /// Safety valve for runaway experiments; 0 disables the limit.
+    void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+
+private:
+    struct Event {
+        TimePoint at;
+        std::uint64_t seq = 0;
+        EventFn fn;
+        std::shared_ptr<bool> cancelled;  // may be null
+
+        // Min-heap order: earliest time first, then earliest scheduled.
+        friend bool operator>(const Event& a, const Event& b) {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    bool run_one();
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    TimePoint now_;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::uint64_t event_limit_ = 0;
+};
+
+}  // namespace fl::sim

@@ -1,0 +1,152 @@
+// Client-side behaviours: endorsement collection, verification, the §3.1
+// malicious client, and failure paths — exercised through small networks.
+#include <gtest/gtest.h>
+
+#include "core/fabric_network.h"
+
+namespace fl {
+namespace {
+
+core::NetworkConfig tiny_config(std::uint64_t seed = 5) {
+    core::NetworkConfig cfg;
+    cfg.orgs = 4;
+    cfg.osns = 2;
+    cfg.clients = 2;
+    cfg.seed = seed;
+    cfg.channel.priority_enabled = true;
+    cfg.channel.block_size = 20;
+    cfg.channel.block_timeout = Duration::millis(100);
+    return cfg;
+}
+
+std::vector<client::TxRecord> run_and_collect(core::FabricNetwork& net) {
+    std::vector<client::TxRecord> records;
+    net.set_tx_sink([&records](const client::TxRecord& r) { records.push_back(r); });
+    net.run();
+    return records;
+}
+
+TEST(ClientTest, SingleTransactionRoundTrip) {
+    core::FabricNetwork net(tiny_config());
+    std::vector<client::TxRecord> records;
+    net.set_tx_sink([&records](const client::TxRecord& r) { records.push_back(r); });
+    net.clients()[0]->submit("record_keeper", "log", {"r1", "hello"});
+    net.run();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_TRUE(is_valid(records[0].code));
+    EXPECT_EQ(records[0].client, ClientId{0});
+    EXPECT_EQ(records[0].chaincode, "record_keeper");
+    EXPECT_EQ(records[0].priority, 2u);  // record_keeper static priority
+    EXPECT_GT(records[0].latency().as_seconds(), 0.0);
+    EXPECT_EQ(net.clients()[0]->completed(), 1u);
+    EXPECT_EQ(net.clients()[0]->pending(), 0u);
+}
+
+TEST(ClientTest, ChaincodeFailureReportedClientSide) {
+    core::FabricNetwork net(tiny_config());
+    net.clients()[0]->submit("asset_transfer", "transfer", {"no", "such", "1"});
+    const auto records = run_and_collect(net);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_TRUE(records[0].failed_before_ordering);
+    EXPECT_EQ(net.clients()[0]->client_side_failures(), 1u);
+}
+
+TEST(ClientTest, UnknownChaincodeFailsCleanly) {
+    core::FabricNetwork net(tiny_config());
+    net.clients()[0]->submit("no_such_chaincode", "fn", {});
+    const auto records = run_and_collect(net);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_TRUE(records[0].failed_before_ordering);
+}
+
+TEST(ClientTest, TxIdsUniqueAcrossClients) {
+    core::FabricNetwork net(tiny_config());
+    std::vector<client::TxRecord> records;
+    net.set_tx_sink([&records](const client::TxRecord& r) { records.push_back(r); });
+    for (int i = 0; i < 10; ++i) {
+        net.clients()[0]->submit("record_keeper", "log", {"a" + std::to_string(i), "x"});
+        net.clients()[1]->submit("record_keeper", "log", {"b" + std::to_string(i), "x"});
+    }
+    net.run();
+    ASSERT_EQ(records.size(), 20u);
+    std::set<std::uint64_t> ids;
+    for (const auto& r : records) {
+        ids.insert(r.tx_id.value());
+    }
+    EXPECT_EQ(ids.size(), 20u);
+}
+
+TEST(ClientTest, MaliciousClientCannotPromote) {
+    // §3.1: dropping unfavourable endorsements is harmless — every endorser
+    // votes the same (static) priority, so dropping keeps the same value,
+    // and forging a different one breaks the signatures.
+    auto cfg = tiny_config();
+    cfg.client_params.drop_unfavorable_endorsements = true;
+    core::FabricNetwork net(cfg);
+    std::vector<client::TxRecord> records;
+    net.set_tx_sink([&records](const client::TxRecord& r) { records.push_back(r); });
+    net.clients()[0]->submit("record_keeper", "log", {"r", "x"});
+    net.run();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_TRUE(is_valid(records[0].code));
+    EXPECT_EQ(records[0].priority, 2u);  // still the lowest class
+}
+
+TEST(ClientTest, MaliciousDropWithDisagreeingEndorsersFailsPolicy) {
+    // With noisy calculators the votes differ; a malicious client that keeps
+    // only the best votes can end up below the endorsement policy threshold
+    // and its transaction dies before ordering — the attack backfires.
+    auto cfg = tiny_config();
+    cfg.client_params.drop_unfavorable_endorsements = true;
+    cfg.endorsement_k = 4;  // all four orgs required
+    cfg.calculator_factory = [seed = std::make_shared<std::uint64_t>(100)] {
+        return std::make_unique<peer::NoisyCalculator>(
+            std::make_unique<peer::StaticChaincodeCalculator>(), 0.5, Rng((*seed)++));
+    };
+    core::FabricNetwork net(cfg);
+    std::uint64_t failed = 0;
+    std::uint64_t ok = 0;
+    net.set_tx_sink([&](const client::TxRecord& r) {
+        r.failed_before_ordering ? ++failed : ++ok;
+    });
+    for (int i = 0; i < 40; ++i) {
+        net.clients()[0]->submit("supply_chain", "create_shipment",
+                                 {"s" + std::to_string(i), "a", "b"});
+    }
+    net.run();
+    EXPECT_EQ(failed + ok, 40u);
+    EXPECT_GT(failed, 0u);  // the strict policy punishes the dropper
+}
+
+TEST(ClientTest, EndorsementsCarriedInEnvelope) {
+    core::FabricNetwork net(tiny_config());
+    net.set_tx_sink([](const client::TxRecord&) {});
+    net.clients()[0]->submit("record_keeper", "log", {"r", "x"});
+    net.run();
+    const auto& chain = net.peers().front()->chain();
+    ASSERT_EQ(chain.height(), 1u);
+    ASSERT_EQ(chain.at(0).size(), 1u);
+    const ledger::Envelope& tx = chain.at(0).transactions[0];
+    EXPECT_EQ(tx.endorsements.size(), 4u);  // one per peer
+    EXPECT_EQ(tx.consolidated_priority, 2u);
+    // Each endorsement signed by a distinct org.
+    std::set<OrgId> orgs;
+    for (const auto& e : tx.endorsements) {
+        orgs.insert(e.org);
+    }
+    EXPECT_EQ(orgs.size(), 4u);
+}
+
+TEST(ClientTest, SubmitBeforeConnectThrows) {
+    sim::Simulator sim;
+    sim::Network net(sim, Rng(1));
+    crypto::KeyStore keys;
+    keys.register_identity({"c", OrgId{0}});
+    policy::ChannelConfig channel;
+    client::Client c(sim, net, keys, channel, client::ClientParams{}, ClientId{0},
+                     NodeId{1}, crypto::Identity{"c", OrgId{0}}, Rng(2));
+    EXPECT_THROW(c.submit("cc", "fn", {}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,58 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace fl {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+    const Bytes data = {0x00, 0x01, 0x7f, 0x80, 0xff};
+    EXPECT_EQ(to_hex(data), "00017f80ff");
+    EXPECT_EQ(from_hex("00017f80ff"), data);
+}
+
+TEST(BytesTest, HexUppercaseAccepted) {
+    EXPECT_EQ(from_hex("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(BytesTest, EmptyHex) {
+    EXPECT_EQ(to_hex(Bytes{}), "");
+    EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(BytesTest, OddLengthHexThrows) {
+    EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(BytesTest, InvalidCharacterThrows) {
+    EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(BytesTest, StringRoundTrip) {
+    const Bytes b = to_bytes("hello");
+    EXPECT_EQ(b.size(), 5u);
+    EXPECT_EQ(to_string(b), "hello");
+}
+
+TEST(BytesTest, AppendU32BigEndian) {
+    Bytes out;
+    append_u32(out, 0x01020304u);
+    EXPECT_EQ(out, (Bytes{0x01, 0x02, 0x03, 0x04}));
+}
+
+TEST(BytesTest, AppendU64BigEndian) {
+    Bytes out;
+    append_u64(out, 0x0102030405060708ull);
+    EXPECT_EQ(out, (Bytes{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08}));
+}
+
+TEST(BytesTest, AppendConcatenates) {
+    Bytes out = to_bytes("ab");
+    append(out, "cd");
+    const Bytes more = {0x01};
+    append(out, BytesView(more.data(), more.size()));
+    EXPECT_EQ(out, (Bytes{'a', 'b', 'c', 'd', 0x01}));
+}
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,155 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace fl {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next_u64() == b.next_u64()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.next_below(17), 17u);
+    }
+    EXPECT_EQ(rng.next_below(0), 0u);
+    EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        seen.insert(rng.next_below(5));
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRange) {
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.uniform(-2.0, 3.0);
+        EXPECT_GE(d, -2.0);
+        EXPECT_LT(d, 3.0);
+    }
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.exponential(2.5);
+    }
+    EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(RngTest, ExponentialAlwaysPositive) {
+    Rng rng(19);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_GE(rng.exponential(1.0), 0.0);
+    }
+}
+
+TEST(RngTest, NormalMomentsApproximatelyCorrect) {
+    Rng rng(23);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal(10.0, 2.0, /*non_negative=*/false);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, NormalNonNegativeClamps) {
+    Rng rng(29);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_GE(rng.normal(0.1, 5.0, /*non_negative=*/true), 0.0);
+    }
+}
+
+TEST(RngTest, ChanceExtremes) {
+    Rng rng(31);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RngTest, ChanceFrequency) {
+    Rng rng(37);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.chance(0.3)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitStreamsIndependent) {
+    Rng parent(42);
+    Rng a = parent.split("a");
+    Rng b = parent.split("b");
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next_u64() == b.next_u64()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, SplitDeterministicAcrossInstances) {
+    Rng p1(42);
+    Rng p2(42);
+    Rng c1 = p1.split("child");
+    Rng c2 = p2.split("child");
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(c1.next_u64(), c2.next_u64());
+    }
+}
+
+TEST(RngTest, ExponentialDurationMatchesMean) {
+    Rng rng(53);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.exponential_duration(Duration::millis(10)).as_seconds();
+    }
+    EXPECT_NEAR(sum / n, 0.010, 0.0005);
+}
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,155 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fl {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+    RunningStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+    RunningStats s;
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        s.add(v);
+    }
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+    RunningStats all;
+    RunningStats left;
+    RunningStats right;
+    for (int i = 0; i < 100; ++i) {
+        const double v = std::sin(i) * 10.0;
+        all.add(v);
+        (i < 40 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(left.min(), all.min());
+    EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+    RunningStats a;
+    a.add(1.0);
+    RunningStats b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(HistogramTest, CountAndMean) {
+    Histogram h;
+    h.add(0.001);
+    h.add(0.002);
+    h.add(0.003);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_NEAR(h.mean(), 0.002, 1e-12);
+}
+
+TEST(HistogramTest, PercentileBoundedRelativeError) {
+    Histogram h(1e-6, 1e4, 100);
+    // 1000 samples spread geometrically.
+    for (int i = 0; i < 1000; ++i) {
+        h.add(1e-3 * std::pow(10.0, i / 500.0));
+    }
+    const double p50 = h.percentile(50);
+    const double exact = 1e-3 * std::pow(10.0, 499.0 / 500.0);
+    EXPECT_NEAR(p50 / exact, 1.0, 0.05);
+}
+
+TEST(HistogramTest, PercentileMonotone) {
+    Histogram h;
+    for (int i = 0; i < 1000; ++i) {
+        h.add(0.001 * (1 + i % 100));
+    }
+    double prev = 0.0;
+    for (const double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+        const double v = h.percentile(p);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(HistogramTest, MaxPercentileCappedAtObservedMax) {
+    Histogram h;
+    h.add(0.5);
+    h.add(1.5);
+    EXPECT_LE(h.percentile(100), 1.5);
+}
+
+TEST(HistogramTest, ValuesBelowMinClampToFirstBucket) {
+    Histogram h(1e-3, 10.0, 10);
+    h.add(1e-9);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_LE(h.percentile(100), 1e-3);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+    Histogram a;
+    Histogram b;
+    a.add(0.01);
+    b.add(0.02);
+    b.add(0.03);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_NEAR(a.mean(), 0.02, 1e-12);
+}
+
+TEST(HistogramTest, BadConstructionThrows) {
+    EXPECT_THROW(Histogram(0.0, 1.0, 10), std::invalid_argument);
+    EXPECT_THROW(Histogram(1.0, 0.5, 10), std::invalid_argument);
+    EXPECT_THROW(Histogram(1e-6, 1.0, 0), std::invalid_argument);
+}
+
+TEST(RunAggregatorTest, MeanAndCi) {
+    RunAggregator agg;
+    for (const double v : {10.0, 12.0, 8.0, 11.0, 9.0}) {
+        agg.add_run(v);
+    }
+    EXPECT_DOUBLE_EQ(agg.mean(), 10.0);
+    EXPECT_GT(agg.ci95_half_width(), 0.0);
+    EXPECT_LT(agg.ci95_half_width(), 3.0);
+    EXPECT_EQ(agg.runs(), 5u);
+}
+
+TEST(RunAggregatorTest, SingleRunHasNoCi) {
+    RunAggregator agg;
+    agg.add_run(1.0);
+    EXPECT_EQ(agg.ci95_half_width(), 0.0);
+}
+
+TEST(FormatFixedTest, Rounds) {
+    EXPECT_EQ(format_fixed(1.2345, 2), "1.23");
+    EXPECT_EQ(format_fixed(1.2355, 2), "1.24");
+    EXPECT_EQ(format_fixed(-0.5, 0), "-0");  // printf rounding to even
+}
+
+}  // namespace
+}  // namespace fl

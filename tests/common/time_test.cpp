@@ -1,0 +1,62 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace fl {
+namespace {
+
+TEST(DurationTest, Constructors) {
+    EXPECT_EQ(Duration::nanos(5).as_nanos(), 5);
+    EXPECT_EQ(Duration::micros(5).as_nanos(), 5'000);
+    EXPECT_EQ(Duration::millis(5).as_nanos(), 5'000'000);
+    EXPECT_EQ(Duration::seconds(5).as_nanos(), 5'000'000'000);
+    EXPECT_EQ(Duration::from_seconds(0.5).as_nanos(), 500'000'000);
+}
+
+TEST(DurationTest, Conversions) {
+    EXPECT_DOUBLE_EQ(Duration::millis(1500).as_seconds(), 1.5);
+    EXPECT_DOUBLE_EQ(Duration::micros(2500).as_millis(), 2.5);
+}
+
+TEST(DurationTest, Arithmetic) {
+    const Duration a = Duration::millis(10);
+    const Duration b = Duration::millis(4);
+    EXPECT_EQ((a + b).as_nanos(), Duration::millis(14).as_nanos());
+    EXPECT_EQ((a - b).as_nanos(), Duration::millis(6).as_nanos());
+    EXPECT_EQ((a * 3).as_nanos(), Duration::millis(30).as_nanos());
+    EXPECT_EQ((a / 2).as_nanos(), Duration::millis(5).as_nanos());
+    Duration c = a;
+    c += b;
+    EXPECT_EQ(c, Duration::millis(14));
+    c -= a;
+    EXPECT_EQ(c, b);
+}
+
+TEST(DurationTest, Comparisons) {
+    EXPECT_LT(Duration::millis(1), Duration::millis(2));
+    EXPECT_EQ(Duration::seconds(1), Duration::millis(1000));
+    EXPECT_GT(Duration::zero(), Duration::millis(-5));
+}
+
+TEST(TimePointTest, OriginAndArithmetic) {
+    const TimePoint t0 = TimePoint::origin();
+    EXPECT_EQ(t0.as_nanos(), 0);
+    const TimePoint t1 = t0 + Duration::seconds(2);
+    EXPECT_DOUBLE_EQ(t1.as_seconds(), 2.0);
+    EXPECT_EQ(t1 - t0, Duration::seconds(2));
+    EXPECT_EQ(t1 - Duration::seconds(1), t0 + Duration::seconds(1));
+    TimePoint t2 = t1;
+    t2 += Duration::millis(500);
+    EXPECT_DOUBLE_EQ(t2.as_seconds(), 2.5);
+}
+
+TEST(TimePointTest, Comparisons) {
+    const TimePoint a = TimePoint::from_nanos(10);
+    const TimePoint b = TimePoint::from_nanos(20);
+    EXPECT_LT(a, b);
+    EXPECT_LE(a, a);
+    EXPECT_LT(a, TimePoint::max());
+}
+
+}  // namespace
+}  // namespace fl

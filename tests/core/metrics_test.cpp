@@ -1,0 +1,145 @@
+// MetricsCollector: accounting, per-dimension histograms, phase breakdowns,
+// and NetworkConfig/FabricNetwork construction validation.
+#include <gtest/gtest.h>
+
+#include "core/fabric_network.h"
+#include "core/metrics.h"
+
+namespace fl::core {
+namespace {
+
+client::TxRecord make_record(std::uint64_t id, PriorityLevel priority,
+                             double latency_s, TxValidationCode code,
+                             std::uint64_t client = 0) {
+    client::TxRecord r;
+    r.tx_id = TxId{id};
+    r.client = ClientId{client};
+    r.chaincode = "cc";
+    r.priority = priority;
+    r.submitted_at = TimePoint::origin();
+    r.broadcast_at = TimePoint::origin() + Duration::from_seconds(latency_s * 0.1);
+    r.block_cut_at = TimePoint::origin() + Duration::from_seconds(latency_s * 0.7);
+    r.committed_at = TimePoint::origin() + Duration::from_seconds(latency_s * 0.9);
+    r.completed_at = TimePoint::origin() + Duration::from_seconds(latency_s);
+    r.code = code;
+    return r;
+}
+
+TEST(MetricsTest, CountsByOutcome) {
+    MetricsCollector m;
+    m.record(make_record(1, 0, 1.0, TxValidationCode::kValid));
+    m.record(make_record(2, 0, 1.0, TxValidationCode::kMvccReadConflict));
+    client::TxRecord failed = make_record(3, 0, 1.0, TxValidationCode::kValid);
+    failed.failed_before_ordering = true;
+    m.record(failed);
+    EXPECT_EQ(m.committed_valid(), 1u);
+    EXPECT_EQ(m.committed_invalid(), 1u);
+    EXPECT_EQ(m.client_failures(), 1u);
+    EXPECT_EQ(m.total(), 3u);
+}
+
+TEST(MetricsTest, OnlyValidTxsEnterLatencyStats) {
+    MetricsCollector m;
+    m.record(make_record(1, 0, 2.0, TxValidationCode::kValid));
+    m.record(make_record(2, 0, 100.0, TxValidationCode::kWriteConflict));
+    EXPECT_EQ(m.overall().count(), 1u);
+    EXPECT_NEAR(m.avg_latency(), 2.0, 1e-9);
+}
+
+TEST(MetricsTest, PerPriorityAndPerClientBuckets) {
+    MetricsCollector m;
+    m.record(make_record(1, 0, 1.0, TxValidationCode::kValid, 0));
+    m.record(make_record(2, 2, 3.0, TxValidationCode::kValid, 1));
+    m.record(make_record(3, 2, 5.0, TxValidationCode::kValid, 1));
+    EXPECT_NEAR(m.avg_latency_for_priority(0), 1.0, 1e-9);
+    EXPECT_NEAR(m.avg_latency_for_priority(2), 4.0, 1e-9);
+    EXPECT_EQ(m.avg_latency_for_priority(1), 0.0);  // no traffic
+    EXPECT_NEAR(m.avg_latency_for_client(ClientId{1}), 4.0, 1e-9);
+}
+
+TEST(MetricsTest, PhaseBreakdownSumsToLatency) {
+    MetricsCollector m;
+    m.record(make_record(1, 1, 2.0, TxValidationCode::kValid));
+    const auto& phases = m.phases_by_priority().at(1);
+    const double total = phases.endorsement.mean() + phases.ordering.mean() +
+                         phases.validation.mean() + phases.notification.mean();
+    EXPECT_NEAR(total, 2.0, 1e-9);
+    EXPECT_NEAR(phases.endorsement.mean(), 0.2, 1e-9);
+    EXPECT_NEAR(phases.ordering.mean(), 1.2, 1e-9);   // 0.7 - 0.1
+    EXPECT_NEAR(phases.validation.mean(), 0.4, 1e-9);  // 0.9 - 0.7
+    EXPECT_NEAR(phases.notification.mean(), 0.2, 1e-9);
+}
+
+TEST(MetricsTest, ThroughputOverMeasurementSpan) {
+    MetricsCollector m;
+    for (int i = 0; i < 10; ++i) {
+        auto r = make_record(static_cast<std::uint64_t>(i), 0, 1.0,
+                             TxValidationCode::kValid);
+        r.submitted_at = TimePoint::origin() + Duration::seconds(i);
+        r.completed_at = r.submitted_at + Duration::seconds(1);
+        m.record(r);
+    }
+    // 10 txs over a [0, 10s] span.
+    EXPECT_NEAR(m.throughput_tps(), 1.0, 1e-9);
+}
+
+TEST(MetricsTest, EmptyCollectorSafe) {
+    MetricsCollector m;
+    EXPECT_EQ(m.avg_latency(), 0.0);
+    EXPECT_EQ(m.throughput_tps(), 0.0);
+    EXPECT_EQ(m.total(), 0u);
+}
+
+// --------------------------------------------------------- config validation
+
+TEST(NetworkConfigTest, RejectsZeroComponents) {
+    for (int field = 0; field < 4; ++field) {
+        NetworkConfig cfg;
+        if (field == 0) cfg.orgs = 0;
+        if (field == 1) cfg.peers_per_org = 0;
+        if (field == 2) cfg.osns = 0;
+        if (field == 3) cfg.clients = 0;
+        EXPECT_THROW(FabricNetwork net(cfg), std::invalid_argument) << field;
+    }
+}
+
+TEST(NetworkConfigTest, EndorsementKClampedToOrgs) {
+    NetworkConfig cfg;
+    cfg.orgs = 3;
+    cfg.endorsement_k = 99;
+    FabricNetwork net(cfg);  // must not throw
+    EXPECT_EQ(net.config().orgs, 3u);
+}
+
+TEST(NetworkConfigTest, PeersPerOrgMultipliesPeers) {
+    NetworkConfig cfg;
+    cfg.orgs = 3;
+    cfg.peers_per_org = 2;
+    FabricNetwork net(cfg);
+    EXPECT_EQ(net.peers().size(), 6u);
+    // Two peers of the same org share the org id but not the identity.
+    EXPECT_EQ(net.peers()[0]->org(), net.peers()[1]->org());
+    EXPECT_NE(net.peers()[0]->identity().name, net.peers()[1]->identity().name);
+}
+
+TEST(NetworkConfigTest, BaselineModeHasSingleTopic) {
+    NetworkConfig cfg;
+    cfg.channel.priority_enabled = false;
+    cfg.channel.priority_levels = 3;
+    FabricNetwork net(cfg);
+    EXPECT_TRUE(net.broker().has_topic(cfg.channel.topic_for_level(0)));
+    EXPECT_FALSE(net.broker().has_topic(cfg.channel.topic_for_level(1)));
+}
+
+TEST(NetworkConfigTest, PriorityModeHasTopicPerLevel) {
+    NetworkConfig cfg;
+    cfg.channel.priority_enabled = true;
+    cfg.channel.priority_levels = 3;
+    FabricNetwork net(cfg);
+    for (PriorityLevel l = 0; l < 3; ++l) {
+        EXPECT_TRUE(net.broker().has_topic(cfg.channel.topic_for_level(l)));
+    }
+}
+
+}  // namespace
+}  // namespace fl::core

@@ -1,0 +1,95 @@
+#include "crypto/merkle.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::crypto {
+namespace {
+
+std::vector<Digest> make_leaves(std::size_t n) {
+    std::vector<Digest> leaves;
+    leaves.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        leaves.push_back(sha256("leaf" + std::to_string(i)));
+    }
+    return leaves;
+}
+
+TEST(MerkleTest, EmptyListHasDefinedRoot) {
+    EXPECT_EQ(merkle_root({}), sha256(std::string_view{}));
+}
+
+TEST(MerkleTest, SingleLeafRootIsLeaf) {
+    const auto leaves = make_leaves(1);
+    EXPECT_EQ(merkle_root(leaves), leaves[0]);
+}
+
+TEST(MerkleTest, RootDeterministic) {
+    const auto leaves = make_leaves(7);
+    EXPECT_EQ(merkle_root(leaves), merkle_root(leaves));
+}
+
+TEST(MerkleTest, RootSensitiveToLeafChange) {
+    auto leaves = make_leaves(8);
+    const Digest original = merkle_root(leaves);
+    leaves[3] = sha256("tampered");
+    EXPECT_NE(merkle_root(leaves), original);
+}
+
+TEST(MerkleTest, RootSensitiveToOrder) {
+    auto leaves = make_leaves(4);
+    const Digest original = merkle_root(leaves);
+    std::swap(leaves[0], leaves[1]);
+    EXPECT_NE(merkle_root(leaves), original);
+}
+
+TEST(MerkleTest, RootSensitiveToCount) {
+    const auto four = make_leaves(4);
+    auto five = four;
+    five.push_back(sha256("extra"));
+    EXPECT_NE(merkle_root(four), merkle_root(five));
+}
+
+TEST(MerkleTest, ProofOutOfRange) {
+    EXPECT_FALSE(merkle_proof(make_leaves(3), 3).has_value());
+    EXPECT_FALSE(merkle_proof({}, 0).has_value());
+}
+
+class MerkleProofSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofSweep, EveryLeafProvable) {
+    const std::size_t n = GetParam();
+    const auto leaves = make_leaves(n);
+    const Digest root = merkle_root(leaves);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto proof = merkle_proof(leaves, i);
+        ASSERT_TRUE(proof.has_value()) << "leaf " << i << " of " << n;
+        EXPECT_TRUE(verify_proof(leaves[i], *proof, root))
+            << "leaf " << i << " of " << n;
+    }
+}
+
+TEST_P(MerkleProofSweep, WrongLeafFailsProof) {
+    const std::size_t n = GetParam();
+    if (n < 2) return;  // a single-leaf tree has an empty proof for its root
+    const auto leaves = make_leaves(n);
+    const Digest root = merkle_root(leaves);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto proof = merkle_proof(leaves, i);
+        ASSERT_TRUE(proof.has_value());
+        EXPECT_FALSE(verify_proof(sha256("imposter"), *proof, root));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, MerkleProofSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17,
+                                           31, 33, 100));
+
+TEST(MerkleTest, ProofAgainstWrongRootFails) {
+    const auto leaves = make_leaves(8);
+    const auto proof = merkle_proof(leaves, 2);
+    ASSERT_TRUE(proof.has_value());
+    EXPECT_FALSE(verify_proof(leaves[2], *proof, sha256("not-the-root")));
+}
+
+}  // namespace
+}  // namespace fl::crypto

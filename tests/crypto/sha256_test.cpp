@@ -1,0 +1,101 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fl::crypto {
+namespace {
+
+// NIST FIPS 180-4 / standard test vectors.
+TEST(Sha256Test, EmptyString) {
+    EXPECT_EQ(to_hex(sha256(std::string_view{})),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+    EXPECT_EQ(to_hex(sha256("abc")),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+    EXPECT_EQ(to_hex(sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, LongMessage) {
+    // One million 'a' characters.
+    const std::string a(1'000'000, 'a');
+    EXPECT_EQ(to_hex(sha256(a)),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, FoxVector) {
+    EXPECT_EQ(to_hex(sha256("The quick brown fox jumps over the lazy dog")),
+              "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+    const std::string msg = "the quick brown fox jumps over the lazy dog many times";
+    Sha256 ctx;
+    for (char c : msg) {
+        ctx.update(std::string_view(&c, 1));
+    }
+    EXPECT_EQ(ctx.finish(), sha256(msg));
+}
+
+TEST(Sha256Test, ChunkedSplitsMatchOneShot) {
+    std::string msg;
+    for (int i = 0; i < 300; ++i) {
+        msg += static_cast<char>('a' + i % 26);
+    }
+    for (const std::size_t split : {1u, 7u, 63u, 64u, 65u, 127u, 128u, 200u}) {
+        Sha256 ctx;
+        std::size_t pos = 0;
+        while (pos < msg.size()) {
+            const std::size_t take = std::min(split, static_cast<std::size_t>(msg.size() - pos));
+            ctx.update(std::string_view(msg).substr(pos, take));
+            pos += take;
+        }
+        EXPECT_EQ(ctx.finish(), sha256(msg)) << "split=" << split;
+    }
+}
+
+TEST(Sha256Test, BoundaryLengths) {
+    // Exercise every padding branch around the 64-byte block boundary.
+    for (const std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+        const std::string msg(len, 'x');
+        Sha256 one;
+        one.update(msg);
+        Sha256 two;
+        two.update(std::string_view(msg).substr(0, len / 2));
+        two.update(std::string_view(msg).substr(len / 2));
+        EXPECT_EQ(one.finish(), two.finish()) << "len=" << len;
+    }
+}
+
+TEST(Sha256Test, ResetReusesContext) {
+    Sha256 ctx;
+    ctx.update("abc");
+    (void)ctx.finish();
+    ctx.reset();
+    ctx.update("abc");
+    EXPECT_EQ(to_hex(ctx.finish()),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+    EXPECT_NE(sha256("a"), sha256("b"));
+    EXPECT_NE(sha256("abc"), sha256("abd"));
+    EXPECT_NE(sha256(""), sha256(std::string(1, '\0')));
+}
+
+TEST(Sha256Test, ToBytesMatches) {
+    const Digest d = sha256("abc");
+    const Bytes b = to_bytes(d);
+    ASSERT_EQ(b.size(), 32u);
+    EXPECT_TRUE(std::equal(b.begin(), b.end(), d.begin()));
+}
+
+}  // namespace
+}  // namespace fl::crypto

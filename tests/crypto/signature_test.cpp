@@ -1,0 +1,112 @@
+#include "crypto/signature.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::crypto {
+namespace {
+
+KeyStore make_store() {
+    KeyStore ks;
+    ks.set_seed(0xABCD);
+    ks.register_identity({"org0.peer0", OrgId{0}});
+    ks.register_identity({"org1.peer0", OrgId{1}});
+    ks.register_identity({"client0", OrgId{0}});
+    return ks;
+}
+
+TEST(KeyStoreTest, RegistrationAndLookup) {
+    const KeyStore ks = make_store();
+    EXPECT_TRUE(ks.has_identity("org0.peer0"));
+    EXPECT_FALSE(ks.has_identity("ghost"));
+    EXPECT_EQ(ks.size(), 3u);
+    EXPECT_EQ(ks.org_of("org1.peer0"), OrgId{1});
+    EXPECT_FALSE(ks.org_of("ghost").has_value());
+}
+
+TEST(KeyStoreTest, EmptyNameRejected) {
+    KeyStore ks;
+    EXPECT_THROW(ks.register_identity({"", OrgId{0}}), std::invalid_argument);
+}
+
+TEST(KeyStoreTest, ReRegistrationIdempotent) {
+    KeyStore ks = make_store();
+    const Bytes msg = fl::to_bytes("payload");
+    const Signature before = ks.sign("org0.peer0", BytesView(msg.data(), msg.size()));
+    ks.register_identity({"org0.peer0", OrgId{0}});
+    const Signature after = ks.sign("org0.peer0", BytesView(msg.data(), msg.size()));
+    EXPECT_EQ(before, after);
+}
+
+TEST(SignatureTest, SignVerifyRoundTrip) {
+    const KeyStore ks = make_store();
+    const Bytes msg = fl::to_bytes("transaction payload");
+    const Signature sig = ks.sign("org0.peer0", BytesView(msg.data(), msg.size()));
+    EXPECT_EQ(sig.signer, "org0.peer0");
+    EXPECT_TRUE(ks.verify(sig, BytesView(msg.data(), msg.size())));
+}
+
+TEST(SignatureTest, TamperedMessageFails) {
+    const KeyStore ks = make_store();
+    const Bytes msg = fl::to_bytes("original");
+    const Bytes other = fl::to_bytes("tampered");
+    const Signature sig = ks.sign("org0.peer0", BytesView(msg.data(), msg.size()));
+    EXPECT_FALSE(ks.verify(sig, BytesView(other.data(), other.size())));
+}
+
+TEST(SignatureTest, WrongClaimedSignerFails) {
+    const KeyStore ks = make_store();
+    const Bytes msg = fl::to_bytes("message");
+    Signature sig = ks.sign("org0.peer0", BytesView(msg.data(), msg.size()));
+    sig.signer = "org1.peer0";  // claim someone else signed it
+    EXPECT_FALSE(ks.verify(sig, BytesView(msg.data(), msg.size())));
+}
+
+TEST(SignatureTest, UnknownSignerFailsVerification) {
+    const KeyStore ks = make_store();
+    const Bytes msg = fl::to_bytes("message");
+    Signature sig = ks.sign("org0.peer0", BytesView(msg.data(), msg.size()));
+    sig.signer = "ghost";
+    EXPECT_FALSE(ks.verify(sig, BytesView(msg.data(), msg.size())));
+}
+
+TEST(SignatureTest, UnknownSignerCannotSign) {
+    const KeyStore ks = make_store();
+    const Bytes msg = fl::to_bytes("message");
+    EXPECT_THROW((void)ks.sign("ghost", BytesView(msg.data(), msg.size())),
+                 std::invalid_argument);
+}
+
+TEST(SignatureTest, DistinctSignersDistinctSignatures) {
+    const KeyStore ks = make_store();
+    const Bytes msg = fl::to_bytes("message");
+    const Signature a = ks.sign("org0.peer0", BytesView(msg.data(), msg.size()));
+    const Signature b = ks.sign("org1.peer0", BytesView(msg.data(), msg.size()));
+    EXPECT_NE(a.mac, b.mac);
+}
+
+TEST(SignatureTest, SeedChangesSecrets) {
+    KeyStore a;
+    a.set_seed(1);
+    a.register_identity({"x", OrgId{0}});
+    KeyStore b;
+    b.set_seed(2);
+    b.register_identity({"x", OrgId{0}});
+    const Bytes msg = fl::to_bytes("m");
+    EXPECT_NE(a.sign("x", BytesView(msg.data(), msg.size())).mac,
+              b.sign("x", BytesView(msg.data(), msg.size())).mac);
+}
+
+TEST(SignatureTest, CrossStoreVerificationRequiresSameSeed) {
+    KeyStore a;
+    a.set_seed(7);
+    a.register_identity({"x", OrgId{0}});
+    KeyStore b;
+    b.set_seed(7);
+    b.register_identity({"x", OrgId{0}});
+    const Bytes msg = fl::to_bytes("m");
+    const Signature sig = a.sign("x", BytesView(msg.data(), msg.size()));
+    EXPECT_TRUE(b.verify(sig, BytesView(msg.data(), msg.size())));
+}
+
+}  // namespace
+}  // namespace fl::crypto

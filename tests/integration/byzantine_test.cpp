@@ -1,0 +1,77 @@
+// Byzantine ordering-service behaviour (paper §3.3's note): committers
+// re-derive the priority consolidation from the endorsers' *signed* votes,
+// so an orderer that promotes transactions to a higher priority class gets
+// those transactions invalidated at commit time.
+#include <gtest/gtest.h>
+
+#include "core/fabric_network.h"
+#include "harness/workload.h"
+
+namespace fl {
+namespace {
+
+core::NetworkConfig byzantine_config(bool byzantine) {
+    core::NetworkConfig cfg;
+    cfg.orgs = 4;
+    cfg.osns = 2;
+    cfg.clients = 2;
+    cfg.seed = 61;
+    cfg.channel.priority_enabled = true;
+    cfg.channel.block_size = 20;
+    cfg.channel.block_timeout = Duration::millis(150);
+    cfg.osn_params.byzantine_promote_all = byzantine;
+    return cfg;
+}
+
+TEST(ByzantineOsnTest, PromotedTransactionsInvalidatedByCommitters) {
+    core::FabricNetwork net(byzantine_config(true));
+    std::uint64_t valid = 0;
+    std::uint64_t invalid = 0;
+    std::vector<TxValidationCode> codes;
+    net.set_tx_sink([&](const client::TxRecord& r) {
+        if (r.failed_before_ordering) return;
+        is_valid(r.code) ? ++valid : ++invalid;
+        codes.push_back(r.code);
+    });
+    // record_keeper consolidates to level 2; the byzantine OSN stamps 0.
+    for (int i = 0; i < 30; ++i) {
+        net.clients()[0]->submit("record_keeper", "log",
+                                 {"r" + std::to_string(i), "x"});
+    }
+    net.run();
+    EXPECT_EQ(valid, 0u);
+    EXPECT_EQ(invalid, 30u);
+    for (const auto code : codes) {
+        EXPECT_EQ(code, TxValidationCode::kBadPriorityConsolidation);
+    }
+    // Peers still converge on the (all-invalid) chain.
+    EXPECT_TRUE(net.chains_identical());
+    EXPECT_TRUE(net.states_identical());
+}
+
+TEST(ByzantineOsnTest, HonestOsnsUnaffectedControl) {
+    core::FabricNetwork net(byzantine_config(false));
+    std::uint64_t valid = 0;
+    net.set_tx_sink([&valid](const client::TxRecord& r) {
+        if (is_valid(r.code)) ++valid;
+    });
+    for (int i = 0; i < 30; ++i) {
+        net.clients()[0]->submit("record_keeper", "log",
+                                 {"r" + std::to_string(i), "x"});
+    }
+    net.run();
+    EXPECT_EQ(valid, 30u);
+}
+
+TEST(ByzantineOsnTest, PromotionGainsNothing) {
+    // Even before invalidation, the promoted transactions cannot be read
+    // back: no byzantine-promoted write reaches the world state.
+    core::FabricNetwork net(byzantine_config(true));
+    net.set_tx_sink([](const client::TxRecord&) {});
+    net.clients()[0]->submit("record_keeper", "log", {"stolen", "gold"});
+    net.run();
+    EXPECT_FALSE(net.peers().front()->state().get("rec/stolen").has_value());
+}
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,160 @@
+#include "ledger/block.h"
+
+#include <gtest/gtest.h>
+
+#include "ledger/block_store.h"
+
+namespace fl::ledger {
+namespace {
+
+Envelope make_tx(std::uint64_t id) {
+    Envelope env;
+    env.proposal.tx_id = TxId{id};
+    env.proposal.chaincode = "cc";
+    env.proposal.function = "fn";
+    env.proposal.args = {"a" + std::to_string(id)};
+    env.rwset.writes.push_back(KvWrite{"k" + std::to_string(id), "v", false});
+    return env;
+}
+
+std::vector<Envelope> make_txs(std::size_t n, std::uint64_t base = 0) {
+    std::vector<Envelope> txs;
+    for (std::size_t i = 0; i < n; ++i) {
+        txs.push_back(make_tx(base + i));
+    }
+    return txs;
+}
+
+TEST(BlockTest, MakeBlockComputesDataHash) {
+    const Block b = make_block(0, nullptr, make_txs(5));
+    EXPECT_EQ(b.header.data_hash, b.compute_data_hash());
+    EXPECT_EQ(b.size(), 5u);
+}
+
+TEST(BlockTest, DataHashChangesWithContent) {
+    const Block a = make_block(0, nullptr, make_txs(3));
+    const Block b = make_block(0, nullptr, make_txs(3, 100));
+    EXPECT_NE(a.header.data_hash, b.header.data_hash);
+}
+
+TEST(BlockTest, HeaderHashChainsPrevious) {
+    const Block genesis = make_block(0, nullptr, make_txs(1));
+    const crypto::Digest h0 = genesis.header.hash();
+    const Block next = make_block(1, &h0, make_txs(1, 50));
+    EXPECT_EQ(next.header.previous_hash, h0);
+    EXPECT_NE(next.header.hash(), h0);
+}
+
+TEST(BlockTest, HeaderHashDependsOnNumber) {
+    const Block a = make_block(0, nullptr, {});
+    Block b = a;
+    b.header.number = 1;
+    EXPECT_NE(a.header.hash(), b.header.hash());
+}
+
+TEST(BlockTest, EmptyBlockHasDefinedHash) {
+    const Block b = make_block(0, nullptr, {});
+    EXPECT_EQ(b.size(), 0u);
+    EXPECT_EQ(b.header.data_hash, crypto::merkle_root({}));
+}
+
+TEST(BlockTest, WireSizeGrowsWithTxs) {
+    EXPECT_LT(make_block(0, nullptr, make_txs(1)).wire_size(),
+              make_block(0, nullptr, make_txs(10)).wire_size());
+}
+
+TEST(BlockStoreTest, AppendAndQuery) {
+    BlockStore store;
+    EXPECT_TRUE(store.empty());
+    store.append(make_block(0, nullptr, make_txs(2)));
+    const crypto::Digest h0 = store.last().header.hash();
+    store.append(make_block(1, &h0, make_txs(3, 10)));
+    EXPECT_EQ(store.height(), 2u);
+    EXPECT_EQ(store.at(0).size(), 2u);
+    EXPECT_EQ(store.at(1).size(), 3u);
+    EXPECT_EQ(store.total_transactions(), 5u);
+    EXPECT_EQ(store.tip_hash(), store.at(1).header.hash());
+}
+
+TEST(BlockStoreTest, RejectsNonSequentialNumber) {
+    BlockStore store;
+    EXPECT_THROW(store.append(make_block(1, nullptr, {})), std::invalid_argument);
+}
+
+TEST(BlockStoreTest, RejectsBrokenPrevHash) {
+    BlockStore store;
+    store.append(make_block(0, nullptr, make_txs(1)));
+    const crypto::Digest wrong = crypto::sha256("wrong");
+    EXPECT_THROW(store.append(make_block(1, &wrong, make_txs(1, 5))),
+                 std::invalid_argument);
+}
+
+TEST(BlockStoreTest, RejectsTamperedDataHash) {
+    BlockStore store;
+    Block b = make_block(0, nullptr, make_txs(2));
+    b.transactions.push_back(make_tx(99));  // content no longer matches header
+    EXPECT_THROW(store.append(std::move(b)), std::invalid_argument);
+}
+
+TEST(BlockStoreTest, VerifyChainDetectsDeepTampering) {
+    BlockStore store;
+    store.append(make_block(0, nullptr, make_txs(1)));
+    for (BlockNumber n = 1; n <= 5; ++n) {
+        const crypto::Digest prev = store.last().header.hash();
+        store.append(make_block(n, &prev, make_txs(1, n * 10)));
+    }
+    EXPECT_TRUE(store.verify_chain());
+}
+
+TEST(BlockStoreTest, EmptyStoreAccessors) {
+    BlockStore store;
+    EXPECT_FALSE(store.tip_hash().has_value());
+    EXPECT_THROW((void)store.last(), std::out_of_range);
+    EXPECT_THROW((void)store.at(0), std::out_of_range);
+    EXPECT_TRUE(store.verify_chain());
+    EXPECT_EQ(store.chain_fingerprint(), BlockStore().chain_fingerprint());
+}
+
+TEST(BlockStoreTest, FingerprintDistinguishesChains) {
+    BlockStore a;
+    a.append(make_block(0, nullptr, make_txs(1)));
+    BlockStore b;
+    b.append(make_block(0, nullptr, make_txs(1, 7)));
+    EXPECT_NE(a.chain_fingerprint(), b.chain_fingerprint());
+
+    BlockStore c;
+    c.append(make_block(0, nullptr, make_txs(1)));
+    EXPECT_EQ(a.chain_fingerprint(), c.chain_fingerprint());
+}
+
+TEST(EnvelopeTest, DigestCoversEndorsements) {
+    Envelope a = make_tx(1);
+    Envelope b = a;
+    Endorsement e;
+    e.endorser_identity = "org0.peer0";
+    b.endorsements.push_back(e);
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(EnvelopeTest, DigestCoversRwset) {
+    Envelope a = make_tx(1);
+    Envelope b = a;
+    b.rwset.writes.push_back(KvWrite{"extra", "v", false});
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(ProposalTest, SerializeDistinguishesArgs) {
+    Envelope a = make_tx(1);
+    Envelope b = make_tx(1);
+    b.proposal.args = {"different"};
+    EXPECT_NE(a.proposal.serialize(), b.proposal.serialize());
+}
+
+TEST(ProposalTest, EndorsementPayloadCoversPriority) {
+    const Envelope env = make_tx(1);
+    EXPECT_NE(Envelope::endorsement_payload(env.proposal, env.rwset, 0),
+              Envelope::endorsement_payload(env.proposal, env.rwset, 1));
+}
+
+}  // namespace
+}  // namespace fl::ledger

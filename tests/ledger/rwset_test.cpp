@@ -1,0 +1,110 @@
+#include "ledger/rwset.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::ledger {
+namespace {
+
+ReadWriteSet reads(std::vector<std::string> keys) {
+    ReadWriteSet s;
+    for (auto& k : keys) {
+        s.reads.push_back(KvRead{std::move(k), Version{1, 0}});
+    }
+    return s;
+}
+
+ReadWriteSet writes(std::vector<std::string> keys) {
+    ReadWriteSet s;
+    for (auto& k : keys) {
+        s.writes.push_back(KvWrite{std::move(k), "v", false});
+    }
+    return s;
+}
+
+TEST(RwSetTest, EmptyDetection) {
+    ReadWriteSet s;
+    EXPECT_TRUE(s.empty());
+    s.reads.push_back(KvRead{"k", std::nullopt});
+    EXPECT_FALSE(s.empty());
+}
+
+TEST(RwSetTest, ReadWriteConflict) {
+    const ReadWriteSet reader = reads({"x"});
+    const ReadWriteSet writer = writes({"x"});
+    EXPECT_TRUE(reader.conflicts_with(writer));
+}
+
+TEST(RwSetTest, WriteWriteConflict) {
+    EXPECT_TRUE(writes({"x"}).conflicts_with(writes({"x"})));
+}
+
+TEST(RwSetTest, NoConflictOnDisjointKeys) {
+    EXPECT_FALSE(reads({"a"}).conflicts_with(writes({"b"})));
+    EXPECT_FALSE(writes({"a"}).conflicts_with(writes({"b"})));
+}
+
+TEST(RwSetTest, ReadReadNeverConflicts) {
+    EXPECT_FALSE(reads({"x"}).conflicts_with(reads({"x"})));
+}
+
+TEST(RwSetTest, ConflictIsDirectional) {
+    // `a.conflicts_with(b)` asks whether b's writes disturb a.
+    const ReadWriteSet reader = reads({"x"});
+    const ReadWriteSet writer = writes({"x"});
+    EXPECT_TRUE(reader.conflicts_with(writer));
+    EXPECT_FALSE(writer.conflicts_with(reader));  // reader writes nothing
+}
+
+TEST(RwSetTest, RangeReadConflictsWithWriteInside) {
+    ReadWriteSet scanner;
+    scanner.range_reads.push_back(RangeRead{"k1", "k5", {}});
+    EXPECT_TRUE(scanner.conflicts_with(writes({"k3"})));
+    EXPECT_FALSE(scanner.conflicts_with(writes({"k5"})));  // end exclusive
+    EXPECT_FALSE(scanner.conflicts_with(writes({"k0"})));
+    EXPECT_TRUE(scanner.conflicts_with(writes({"k1"})));  // start inclusive
+}
+
+TEST(RwSetTest, SerializeDeterministic) {
+    ReadWriteSet s;
+    s.reads.push_back(KvRead{"key1", Version{3, 7}});
+    s.reads.push_back(KvRead{"key2", std::nullopt});
+    s.writes.push_back(KvWrite{"key3", "value", false});
+    s.writes.push_back(KvWrite{"key4", "", true});
+    s.range_reads.push_back(RangeRead{"a", "z", {KvRead{"m", Version{1, 1}}}});
+    EXPECT_EQ(s.serialize(), s.serialize());
+}
+
+TEST(RwSetTest, SerializeDistinguishesContent) {
+    ReadWriteSet a;
+    a.writes.push_back(KvWrite{"k", "v1", false});
+    ReadWriteSet b;
+    b.writes.push_back(KvWrite{"k", "v2", false});
+    EXPECT_NE(a.serialize(), b.serialize());
+
+    ReadWriteSet del;
+    del.writes.push_back(KvWrite{"k", "v1", true});
+    EXPECT_NE(a.serialize(), del.serialize());
+}
+
+TEST(RwSetTest, SerializeDistinguishesVersionPresence) {
+    ReadWriteSet a;
+    a.reads.push_back(KvRead{"k", Version{0, 0}});
+    ReadWriteSet b;
+    b.reads.push_back(KvRead{"k", std::nullopt});
+    EXPECT_NE(a.serialize(), b.serialize());
+}
+
+TEST(RwSetTest, WireSizeGrowsWithContent) {
+    ReadWriteSet small = writes({"k"});
+    ReadWriteSet big = writes({"k", "l", "m"});
+    EXPECT_LT(small.wire_size(), big.wire_size());
+}
+
+TEST(RwSetTest, VersionOrdering) {
+    EXPECT_LT((Version{1, 5}), (Version{2, 0}));
+    EXPECT_LT((Version{2, 0}), (Version{2, 1}));
+    EXPECT_EQ((Version{3, 3}), (Version{3, 3}));
+}
+
+}  // namespace
+}  // namespace fl::ledger

@@ -1,0 +1,138 @@
+#include "ledger/world_state.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::ledger {
+namespace {
+
+TEST(WorldStateTest, GetAbsentKey) {
+    WorldState ws;
+    EXPECT_FALSE(ws.get("missing").has_value());
+    EXPECT_FALSE(ws.version_of("missing").has_value());
+    EXPECT_EQ(ws.key_count(), 0u);
+}
+
+TEST(WorldStateTest, ApplyAndGet) {
+    WorldState ws;
+    ws.apply(KvWrite{"k", "v", false}, Version{1, 2});
+    EXPECT_EQ(ws.get("k"), "v");
+    EXPECT_EQ(ws.version_of("k"), (Version{1, 2}));
+}
+
+TEST(WorldStateTest, OverwriteBumpsVersion) {
+    WorldState ws;
+    ws.apply(KvWrite{"k", "v1", false}, Version{1, 0});
+    ws.apply(KvWrite{"k", "v2", false}, Version{2, 3});
+    EXPECT_EQ(ws.get("k"), "v2");
+    EXPECT_EQ(ws.version_of("k"), (Version{2, 3}));
+}
+
+TEST(WorldStateTest, DeleteRemovesKey) {
+    WorldState ws;
+    ws.apply(KvWrite{"k", "v", false}, Version{1, 0});
+    ws.apply(KvWrite{"k", "", true}, Version{2, 0});
+    EXPECT_FALSE(ws.get("k").has_value());
+    EXPECT_FALSE(ws.version_of("k").has_value());
+}
+
+TEST(WorldStateTest, ApplyAllWritesEverything) {
+    WorldState ws;
+    ReadWriteSet s;
+    s.writes.push_back(KvWrite{"a", "1", false});
+    s.writes.push_back(KvWrite{"b", "2", false});
+    ws.apply_all(s, Version{5, 9});
+    EXPECT_EQ(ws.get("a"), "1");
+    EXPECT_EQ(ws.get("b"), "2");
+    EXPECT_EQ(ws.version_of("b"), (Version{5, 9}));
+}
+
+TEST(WorldStateTest, RangeScanOrderedAndBounded) {
+    WorldState ws;
+    for (const char* k : {"b", "d", "a", "c", "e"}) {
+        ws.apply(KvWrite{k, "v", false}, Version{1, 0});
+    }
+    const auto result = ws.range("b", "e");
+    ASSERT_EQ(result.size(), 3u);
+    EXPECT_EQ(result[0].key, "b");
+    EXPECT_EQ(result[1].key, "c");
+    EXPECT_EQ(result[2].key, "d");
+}
+
+TEST(WorldStateTest, ValidateReadsMatchingVersion) {
+    WorldState ws;
+    ws.apply(KvWrite{"k", "v", false}, Version{1, 4});
+    ReadWriteSet s;
+    s.reads.push_back(KvRead{"k", Version{1, 4}});
+    EXPECT_TRUE(ws.validate_reads(s));
+}
+
+TEST(WorldStateTest, ValidateReadsStaleVersionFails) {
+    WorldState ws;
+    ws.apply(KvWrite{"k", "v", false}, Version{2, 0});
+    ReadWriteSet s;
+    s.reads.push_back(KvRead{"k", Version{1, 0}});
+    EXPECT_FALSE(ws.validate_reads(s));
+}
+
+TEST(WorldStateTest, ValidateReadsAbsenceSemantics) {
+    WorldState ws;
+    ReadWriteSet read_absent;
+    read_absent.reads.push_back(KvRead{"k", std::nullopt});
+    EXPECT_TRUE(ws.validate_reads(read_absent));  // still absent -> fine
+
+    ws.apply(KvWrite{"k", "v", false}, Version{1, 0});
+    EXPECT_FALSE(ws.validate_reads(read_absent));  // appeared -> conflict
+
+    ReadWriteSet read_present;
+    read_present.reads.push_back(KvRead{"gone", Version{1, 0}});
+    EXPECT_FALSE(ws.validate_reads(read_present));  // vanished -> conflict
+}
+
+TEST(WorldStateTest, ValidateRangeReadsPhantomDetection) {
+    WorldState ws;
+    ws.apply(KvWrite{"k1", "v", false}, Version{1, 0});
+    ws.apply(KvWrite{"k3", "v", false}, Version{1, 1});
+
+    ReadWriteSet s;
+    s.range_reads.push_back(RangeRead{"k0", "k9", ws.range("k0", "k9")});
+    EXPECT_TRUE(ws.validate_reads(s));
+
+    // Phantom insert inside the range invalidates the scan.
+    ws.apply(KvWrite{"k2", "v", false}, Version{2, 0});
+    EXPECT_FALSE(ws.validate_reads(s));
+}
+
+TEST(WorldStateTest, ValidateRangeReadsVersionBump) {
+    WorldState ws;
+    ws.apply(KvWrite{"k1", "v", false}, Version{1, 0});
+    ReadWriteSet s;
+    s.range_reads.push_back(RangeRead{"k0", "k9", ws.range("k0", "k9")});
+    ws.apply(KvWrite{"k1", "v2", false}, Version{2, 0});  // same key, new version
+    EXPECT_FALSE(ws.validate_reads(s));
+}
+
+TEST(WorldStateTest, FingerprintEqualForEqualStates) {
+    WorldState a;
+    WorldState b;
+    // Insert in different orders; state content is identical.
+    a.apply(KvWrite{"x", "1", false}, Version{1, 0});
+    a.apply(KvWrite{"y", "2", false}, Version{1, 1});
+    b.apply(KvWrite{"y", "2", false}, Version{1, 1});
+    b.apply(KvWrite{"x", "1", false}, Version{1, 0});
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(WorldStateTest, FingerprintSensitiveToValueAndVersion) {
+    WorldState a;
+    WorldState b;
+    a.apply(KvWrite{"x", "1", false}, Version{1, 0});
+    b.apply(KvWrite{"x", "2", false}, Version{1, 0});
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+
+    WorldState c;
+    c.apply(KvWrite{"x", "1", false}, Version{2, 0});
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+}  // namespace
+}  // namespace fl::ledger

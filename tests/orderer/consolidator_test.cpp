@@ -1,0 +1,106 @@
+#include "orderer/consolidator.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::orderer {
+namespace {
+
+struct Fixture {
+    crypto::KeyStore keys;
+    policy::ChannelConfig channel;
+
+    Fixture() {
+        channel.priority_levels = 3;
+        channel.consolidation_spec = "kofn:2";
+        for (std::uint64_t org = 0; org < 4; ++org) {
+            keys.register_identity({"org" + std::to_string(org) + ".peer0",
+                                    OrgId{org}});
+        }
+    }
+
+    ledger::Envelope envelope_with_votes(std::vector<PriorityLevel> votes,
+                                         bool valid_sigs = true) {
+        ledger::Envelope env;
+        env.proposal.tx_id = TxId{1};
+        env.proposal.chaincode = "cc";
+        env.rwset.writes.push_back(ledger::KvWrite{"k", "v", false});
+        for (std::size_t i = 0; i < votes.size(); ++i) {
+            ledger::Endorsement e;
+            e.endorser_identity = "org" + std::to_string(i % 4) + ".peer0";
+            e.org = OrgId{i % 4};
+            e.priority = votes[i];
+            const Bytes payload = ledger::Envelope::endorsement_payload(
+                env.proposal, env.rwset, e.priority);
+            e.response_hash =
+                crypto::sha256(BytesView(payload.data(), payload.size()));
+            e.signature = keys.sign(e.endorser_identity,
+                                    BytesView(payload.data(), payload.size()));
+            if (!valid_sigs) {
+                e.signature.mac[0] ^= 0xFF;
+            }
+            env.endorsements.push_back(e);
+        }
+        return env;
+    }
+};
+
+TEST(ConsolidatorTest, AgreementConsolidates) {
+    Fixture f;
+    const Consolidator c(f.channel, f.keys);
+    const auto r = c.consolidate(f.envelope_with_votes({1, 1, 1, 1}));
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.priority, 1u);
+}
+
+TEST(ConsolidatorTest, PartialAgreementStillConsolidates) {
+    Fixture f;
+    const Consolidator c(f.channel, f.keys);
+    const auto r = c.consolidate(f.envelope_with_votes({0, 0, 2, 1}));
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.priority, 0u);  // two endorsers agreed on 0
+}
+
+TEST(ConsolidatorTest, NoAgreementFails) {
+    Fixture f;
+    const Consolidator c(f.channel, f.keys);
+    const auto r = c.consolidate(f.envelope_with_votes({0, 1, 2}));
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.error.empty());
+}
+
+TEST(ConsolidatorTest, NoEndorsementsFails) {
+    Fixture f;
+    const Consolidator c(f.channel, f.keys);
+    const auto r = c.consolidate(f.envelope_with_votes({}));
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(ConsolidatorTest, ForgedSignaturesIgnoredWhenVerifying) {
+    Fixture f;
+    const Consolidator c(f.channel, f.keys, /*verify_signatures=*/true);
+    const auto r = c.consolidate(f.envelope_with_votes({1, 1, 1, 1},
+                                                       /*valid_sigs=*/false));
+    EXPECT_FALSE(r.ok);  // no valid endorsements left
+}
+
+TEST(ConsolidatorTest, ForgedSignaturesCountWhenTrusting) {
+    // Crash-fault mode: the OSN trusts endorsements without re-verifying
+    // (committers still catch forgeries later).
+    Fixture f;
+    const Consolidator c(f.channel, f.keys, /*verify_signatures=*/false);
+    const auto r = c.consolidate(f.envelope_with_votes({1, 1, 1, 1},
+                                                       /*valid_sigs=*/false));
+    EXPECT_TRUE(r.ok);
+}
+
+TEST(ConsolidatorTest, AveragePolicyRounds) {
+    Fixture f;
+    f.channel.consolidation_spec = "average";
+    const Consolidator c(f.channel, f.keys);
+    const auto r = c.consolidate(f.envelope_with_votes({0, 1, 2, 2}));
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.priority, 1u);  // mean 1.25 -> 1
+}
+
+}  // namespace
+}  // namespace fl::orderer

@@ -1,0 +1,115 @@
+#include "peer/priority_calculator.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::peer {
+namespace {
+
+ledger::Proposal make_proposal(const std::string& chaincode, std::uint64_t client = 0) {
+    ledger::Proposal p;
+    p.chaincode = chaincode;
+    p.client = ClientId{client};
+    return p;
+}
+
+CalculatorContext ctx_with(const chaincode::Registry& registry,
+                           double load = 0.0, std::uint32_t levels = 3) {
+    CalculatorContext ctx;
+    ctx.registry = &registry;
+    ctx.observed_load_tps = load;
+    ctx.priority_levels = levels;
+    return ctx;
+}
+
+TEST(StaticChaincodeCalculatorTest, UsesDeployTimePriority) {
+    const auto registry = chaincode::Registry::with_standard_contracts(3);
+    StaticChaincodeCalculator calc;
+    const auto ctx = ctx_with(registry);
+    EXPECT_EQ(calc.calculate(make_proposal("asset_transfer"), ctx), 0u);
+    EXPECT_EQ(calc.calculate(make_proposal("supply_chain"), ctx), 1u);
+    EXPECT_EQ(calc.calculate(make_proposal("record_keeper"), ctx), 2u);
+}
+
+TEST(StaticChaincodeCalculatorTest, ClampsToConfiguredLevels) {
+    const auto registry = chaincode::Registry::with_standard_contracts(3);
+    StaticChaincodeCalculator calc;
+    const auto ctx = ctx_with(registry, 0.0, /*levels=*/2);
+    EXPECT_EQ(calc.calculate(make_proposal("record_keeper"), ctx), 1u);
+}
+
+TEST(StaticChaincodeCalculatorTest, MissingRegistryThrows) {
+    StaticChaincodeCalculator calc;
+    CalculatorContext ctx;
+    EXPECT_THROW((void)calc.calculate(make_proposal("x"), ctx), std::logic_error);
+}
+
+TEST(ClientClassCalculatorTest, MapsClientsToLevels) {
+    ClientClassCalculator calc({{ClientId{0}, 0}, {ClientId{1}, 1}, {ClientId{2}, 2}},
+                               /*default_level=*/1);
+    const auto registry = chaincode::Registry::with_standard_contracts(3);
+    const auto ctx = ctx_with(registry);
+    EXPECT_EQ(calc.calculate(make_proposal("any", 0), ctx), 0u);
+    EXPECT_EQ(calc.calculate(make_proposal("any", 1), ctx), 1u);
+    EXPECT_EQ(calc.calculate(make_proposal("any", 2), ctx), 2u);
+    EXPECT_EQ(calc.calculate(make_proposal("any", 99), ctx), 1u);  // default
+}
+
+TEST(LoadAwareCalculatorTest, DemotesUnderLoad) {
+    const auto registry = chaincode::Registry::with_standard_contracts(3);
+    LoadAwareCalculator calc(std::make_unique<StaticChaincodeCalculator>(),
+                             /*load_threshold_tps=*/100.0);
+    EXPECT_EQ(calc.calculate(make_proposal("asset_transfer"),
+                             ctx_with(registry, 50.0)),
+              0u);
+    EXPECT_EQ(calc.calculate(make_proposal("asset_transfer"),
+                             ctx_with(registry, 500.0)),
+              1u);
+    // Already at the bottom: stays clamped.
+    EXPECT_EQ(calc.calculate(make_proposal("record_keeper"),
+                             ctx_with(registry, 500.0)),
+              2u);
+}
+
+TEST(LoadAwareCalculatorTest, NullBaseRejected) {
+    EXPECT_THROW(LoadAwareCalculator(nullptr, 1.0), std::invalid_argument);
+}
+
+TEST(NoisyCalculatorTest, ZeroProbabilityIsTransparent) {
+    const auto registry = chaincode::Registry::with_standard_contracts(3);
+    NoisyCalculator calc(std::make_unique<StaticChaincodeCalculator>(), 0.0, Rng(1));
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(calc.calculate(make_proposal("supply_chain"), ctx_with(registry)),
+                  1u);
+    }
+}
+
+TEST(NoisyCalculatorTest, FlipsStayWithinRange) {
+    const auto registry = chaincode::Registry::with_standard_contracts(3);
+    NoisyCalculator calc(std::make_unique<StaticChaincodeCalculator>(), 1.0, Rng(2));
+    int deviations = 0;
+    for (int i = 0; i < 200; ++i) {
+        const PriorityLevel out =
+            calc.calculate(make_proposal("supply_chain"), ctx_with(registry));
+        EXPECT_LT(out, 3u);
+        if (out != 1u) ++deviations;
+    }
+    EXPECT_GT(deviations, 150);  // p=1.0 flips essentially always
+}
+
+TEST(NoisyCalculatorTest, EdgeLevelsFlipInward) {
+    const auto registry = chaincode::Registry::with_standard_contracts(3);
+    NoisyCalculator top(std::make_unique<StaticChaincodeCalculator>(), 1.0, Rng(3));
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(top.calculate(make_proposal("asset_transfer"), ctx_with(registry)),
+                  1u);  // 0 can only flip to 1
+    }
+    NoisyCalculator bottom(std::make_unique<StaticChaincodeCalculator>(), 1.0, Rng(4));
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(
+            bottom.calculate(make_proposal("record_keeper"), ctx_with(registry)),
+            1u);  // 2 can only flip to 1
+    }
+}
+
+}  // namespace
+}  // namespace fl::peer

@@ -1,0 +1,250 @@
+#include "peer/validator.h"
+
+#include <gtest/gtest.h>
+
+#include "peer/endorser.h"
+
+namespace fl::peer {
+namespace {
+
+/// Builds properly-endorsed envelopes against a channel with 4 orgs and a
+/// 2-of-4 endorsement policy, then validates hand-assembled blocks.
+struct Fixture {
+    crypto::KeyStore keys;
+    policy::ChannelConfig channel;
+    std::unique_ptr<policy::ConsolidationPolicy> consolidation;
+    ledger::WorldState state;
+    std::unordered_set<std::uint64_t> seen;
+    std::uint64_t next_tx_id = 1;
+
+    Fixture() {
+        channel.priority_levels = 3;
+        channel.priority_enabled = true;
+        channel.consolidation_spec = "kofn:2";
+        channel.endorsement_policy = policy::EndorsementPolicy::k_of_n_orgs(2, 4);
+        consolidation = policy::make_consolidation_policy(channel.consolidation_spec);
+        for (std::uint64_t org = 0; org < 4; ++org) {
+            keys.register_identity(
+                {"org" + std::to_string(org) + ".peer0", OrgId{org}});
+        }
+    }
+
+    /// An envelope reading `reads`, writing `writes`, at `priority`, endorsed
+    /// by orgs 0..3 (all voting `priority`).
+    ledger::Envelope make_tx(std::vector<std::string> reads,
+                             std::vector<std::string> writes,
+                             PriorityLevel priority) {
+        ledger::Envelope env;
+        env.proposal.tx_id = TxId{next_tx_id++};
+        env.proposal.chaincode = "test";
+        env.proposal.function = "fn";
+        for (const std::string& k : reads) {
+            env.rwset.reads.push_back(ledger::KvRead{k, state.version_of(k)});
+        }
+        for (const std::string& k : writes) {
+            env.rwset.writes.push_back(ledger::KvWrite{k, "v", false});
+        }
+        env.consolidated_priority = priority;
+        for (std::uint64_t org = 0; org < 4; ++org) {
+            endorse_with(env, org, priority);
+        }
+        return env;
+    }
+
+    void endorse_with(ledger::Envelope& env, std::uint64_t org,
+                      PriorityLevel priority) {
+        ledger::Endorsement e;
+        e.endorser_identity = "org" + std::to_string(org) + ".peer0";
+        e.org = OrgId{org};
+        e.priority = priority;
+        const Bytes payload =
+            ledger::Envelope::endorsement_payload(env.proposal, env.rwset, priority);
+        e.response_hash = crypto::sha256(BytesView(payload.data(), payload.size()));
+        e.signature =
+            keys.sign(e.endorser_identity, BytesView(payload.data(), payload.size()));
+        env.endorsements.push_back(e);
+    }
+
+    ValidationOutcome validate(const std::vector<ledger::Envelope>& txs,
+                               bool prioritized, BlockNumber number = 1) {
+        const ledger::Block block = ledger::make_block(number, nullptr, txs);
+        ValidatorConfig cfg;
+        cfg.prioritized = prioritized;
+        cfg.verify_consolidation = true;
+        return validate_block(block, state, channel, consolidation.get(), keys, seen,
+                              cfg);
+    }
+};
+
+TEST(ValidatorTest, CleanBlockAllValid) {
+    Fixture f;
+    const std::vector<ledger::Envelope> txs = {
+        f.make_tx({}, {"a"}, 0), f.make_tx({}, {"b"}, 1), f.make_tx({}, {"c"}, 2)};
+    const auto out = f.validate(txs, /*prioritized=*/true);
+    EXPECT_EQ(out.valid_count, 3u);
+    for (const auto code : out.codes) {
+        EXPECT_TRUE(is_valid(code));
+    }
+}
+
+TEST(ValidatorTest, StandardValidatorFirstInBlockWins) {
+    Fixture f;
+    // Low priority appears first in the block; both write "k".
+    const std::vector<ledger::Envelope> txs = {f.make_tx({}, {"k"}, 2),
+                                               f.make_tx({}, {"k"}, 0)};
+    const auto out = f.validate(txs, /*prioritized=*/false);
+    EXPECT_TRUE(is_valid(out.codes[0]));  // earlier tx wins
+    EXPECT_EQ(out.codes[1], TxValidationCode::kWriteConflict);
+}
+
+TEST(ValidatorTest, PrioritizedValidatorHigherPriorityWins) {
+    Fixture f;
+    // Same block: with the prioritized validator the level-0 tx survives
+    // even though it appears later in block order (paper §3.4).
+    const std::vector<ledger::Envelope> txs = {f.make_tx({}, {"k"}, 2),
+                                               f.make_tx({}, {"k"}, 0)};
+    const auto out = f.validate(txs, /*prioritized=*/true);
+    EXPECT_EQ(out.codes[0], TxValidationCode::kWriteConflict);
+    EXPECT_TRUE(is_valid(out.codes[1]));
+}
+
+TEST(ValidatorTest, PrioritizedReadWriteConflict) {
+    Fixture f;
+    f.state.apply(ledger::KvWrite{"k", "v0", false}, ledger::Version{0, 0});
+    // Reader at low priority first in block, writer at high priority later.
+    const std::vector<ledger::Envelope> txs = {f.make_tx({"k"}, {"out"}, 2),
+                                               f.make_tx({}, {"k"}, 0)};
+    const auto out = f.validate(txs, /*prioritized=*/true);
+    EXPECT_EQ(out.codes[0], TxValidationCode::kMvccReadConflict);
+    EXPECT_TRUE(is_valid(out.codes[1]));
+}
+
+TEST(ValidatorTest, SamePriorityConflictFifoWins) {
+    Fixture f;
+    // Equal priority: the earlier transaction must win (stable order).
+    const std::vector<ledger::Envelope> txs = {f.make_tx({}, {"k"}, 1),
+                                               f.make_tx({}, {"k"}, 1)};
+    const auto out = f.validate(txs, /*prioritized=*/true);
+    EXPECT_TRUE(is_valid(out.codes[0]));
+    EXPECT_EQ(out.codes[1], TxValidationCode::kWriteConflict);
+}
+
+TEST(ValidatorTest, MvccStaleReadRejected) {
+    Fixture f;
+    f.state.apply(ledger::KvWrite{"k", "v0", false}, ledger::Version{0, 0});
+    ledger::Envelope tx = f.make_tx({"k"}, {"out"}, 0);
+    // State moves on after endorsement.
+    f.state.apply(ledger::KvWrite{"k", "v1", false}, ledger::Version{1, 0});
+    const auto out = f.validate({tx}, true, /*number=*/2);
+    EXPECT_EQ(out.codes[0], TxValidationCode::kMvccReadConflict);
+    EXPECT_EQ(out.valid_count, 0u);
+}
+
+TEST(ValidatorTest, DuplicateTxIdRejected) {
+    Fixture f;
+    ledger::Envelope tx = f.make_tx({}, {"a"}, 0);
+    const auto first = f.validate({tx}, true, 1);
+    EXPECT_TRUE(is_valid(first.codes[0]));
+    const auto replay = f.validate({tx}, true, 2);
+    EXPECT_EQ(replay.codes[0], TxValidationCode::kDuplicateTxId);
+}
+
+TEST(ValidatorTest, InsufficientEndorsementsRejected) {
+    Fixture f;
+    ledger::Envelope tx = f.make_tx({}, {"a"}, 0);
+    tx.endorsements.resize(1);  // 1 org < 2-of-4 policy
+    const auto out = f.validate({tx}, true);
+    EXPECT_EQ(out.codes[0], TxValidationCode::kEndorsementPolicyFailure);
+}
+
+TEST(ValidatorTest, ForgedEndorsementsDoNotCount) {
+    Fixture f;
+    ledger::Envelope tx = f.make_tx({}, {"a"}, 0);
+    // Corrupt all but one signature.
+    for (std::size_t i = 1; i < tx.endorsements.size(); ++i) {
+        tx.endorsements[i].signature.mac[0] ^= 0xFF;
+    }
+    const auto out = f.validate({tx}, true);
+    EXPECT_EQ(out.codes[0], TxValidationCode::kEndorsementPolicyFailure);
+}
+
+TEST(ValidatorTest, WrongConsolidatedPriorityRejected) {
+    Fixture f;
+    ledger::Envelope tx = f.make_tx({}, {"a"}, 2);
+    tx.consolidated_priority = 0;  // OSN (or attacker) promoted it
+    const auto out = f.validate({tx}, true);
+    EXPECT_EQ(out.codes[0], TxValidationCode::kBadPriorityConsolidation);
+}
+
+TEST(ValidatorTest, ConsolidationNotCheckedWhenDisabled) {
+    Fixture f;
+    ledger::Envelope tx = f.make_tx({}, {"a"}, 2);
+    tx.consolidated_priority = 0;
+    const ledger::Block block = ledger::make_block(1, nullptr, {tx});
+    ValidatorConfig cfg;  // both flags off = vanilla Fabric
+    const auto out = validate_block(block, f.state, f.channel, nullptr, f.keys,
+                                    f.seen, cfg);
+    EXPECT_TRUE(is_valid(out.codes[0]));
+}
+
+TEST(ValidatorTest, PhantomConflictDetected) {
+    Fixture f;
+    // Tx A range-reads [r/, r/z); tx B (higher priority) inserts inside.
+    ledger::Envelope reader = f.make_tx({}, {"out"}, 2);
+    reader.endorsements.clear();
+    reader.rwset.range_reads.push_back(ledger::RangeRead{"r/", "r/z", {}});
+    for (std::uint64_t org = 0; org < 4; ++org) {
+        f.endorse_with(reader, org, 2);
+    }
+    const ledger::Envelope writer = f.make_tx({}, {"r/new"}, 0);
+    const auto out = f.validate({reader, writer}, /*prioritized=*/true);
+    EXPECT_EQ(out.codes[0], TxValidationCode::kPhantomReadConflict);
+    EXPECT_TRUE(is_valid(out.codes[1]));
+}
+
+TEST(ValidatorTest, ApplyBlockWritesValidOnly) {
+    Fixture f;
+    const std::vector<ledger::Envelope> txs = {f.make_tx({}, {"k"}, 2),
+                                               f.make_tx({}, {"k"}, 0),
+                                               f.make_tx({}, {"other"}, 1)};
+    const ledger::Block block = ledger::make_block(1, nullptr, txs);
+    const auto out = f.validate(txs, /*prioritized=*/true);
+    apply_block(block, out, f.state);
+    // Only the high-priority "k" writer and "other" landed.
+    EXPECT_EQ(f.state.version_of("k"), (ledger::Version{1, 1}));  // block index 1
+    EXPECT_EQ(f.state.version_of("other"), (ledger::Version{1, 2}));
+}
+
+TEST(ValidatorTest, ValidationCodesReportedInBlockOrder) {
+    Fixture f;
+    const std::vector<ledger::Envelope> txs = {
+        f.make_tx({}, {"x"}, 2), f.make_tx({}, {"x"}, 1), f.make_tx({}, {"x"}, 0)};
+    const auto out = f.validate(txs, /*prioritized=*/true);
+    ASSERT_EQ(out.codes.size(), 3u);
+    // Highest priority (block position 2) wins; others conflict.
+    EXPECT_EQ(out.codes[0], TxValidationCode::kWriteConflict);
+    EXPECT_EQ(out.codes[1], TxValidationCode::kWriteConflict);
+    EXPECT_TRUE(is_valid(out.codes[2]));
+    EXPECT_EQ(out.valid_count, 1u);
+}
+
+class ConflictMatrixSweep
+    : public ::testing::TestWithParam<std::tuple<PriorityLevel, PriorityLevel>> {};
+
+TEST_P(ConflictMatrixSweep, HigherPriorityAlwaysSurvives) {
+    const auto [pa, pb] = GetParam();
+    Fixture f;
+    const std::vector<ledger::Envelope> txs = {f.make_tx({}, {"hot"}, pa),
+                                               f.make_tx({}, {"hot"}, pb)};
+    const auto out = f.validate(txs, /*prioritized=*/true);
+    const std::size_t winner = pa <= pb ? 0u : 1u;  // tie -> earlier in block
+    EXPECT_TRUE(is_valid(out.codes[winner]));
+    EXPECT_FALSE(is_valid(out.codes[1 - winner]));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, ConflictMatrixSweep,
+                         ::testing::Combine(::testing::Values(0u, 1u, 2u),
+                                            ::testing::Values(0u, 1u, 2u)));
+
+}  // namespace
+}  // namespace fl::peer

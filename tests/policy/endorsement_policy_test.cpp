@@ -1,0 +1,107 @@
+#include "policy/endorsement_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::policy {
+namespace {
+
+std::set<OrgId> orgs(std::initializer_list<std::uint64_t> ids) {
+    std::set<OrgId> out;
+    for (const std::uint64_t id : ids) {
+        out.insert(OrgId{id});
+    }
+    return out;
+}
+
+TEST(EndorsementPolicyTest, SingleOrg) {
+    const auto p = EndorsementPolicy::org(OrgId{2});
+    EXPECT_TRUE(p.satisfied_by(orgs({2})));
+    EXPECT_TRUE(p.satisfied_by(orgs({1, 2, 3})));
+    EXPECT_FALSE(p.satisfied_by(orgs({1, 3})));
+    EXPECT_FALSE(p.satisfied_by({}));
+    EXPECT_EQ(p.min_orgs_required(), 1u);
+}
+
+TEST(EndorsementPolicyTest, AllOf) {
+    const auto p = EndorsementPolicy::all_of(
+        {EndorsementPolicy::org(OrgId{0}), EndorsementPolicy::org(OrgId{1})});
+    EXPECT_TRUE(p.satisfied_by(orgs({0, 1})));
+    EXPECT_FALSE(p.satisfied_by(orgs({0})));
+    EXPECT_FALSE(p.satisfied_by(orgs({1})));
+    EXPECT_EQ(p.min_orgs_required(), 2u);
+}
+
+TEST(EndorsementPolicyTest, AnyOf) {
+    const auto p = EndorsementPolicy::any_of(
+        {EndorsementPolicy::org(OrgId{0}), EndorsementPolicy::org(OrgId{1})});
+    EXPECT_TRUE(p.satisfied_by(orgs({0})));
+    EXPECT_TRUE(p.satisfied_by(orgs({1})));
+    EXPECT_FALSE(p.satisfied_by(orgs({2})));
+    EXPECT_EQ(p.min_orgs_required(), 1u);
+}
+
+TEST(EndorsementPolicyTest, KOfN) {
+    const auto p = EndorsementPolicy::k_of_n_orgs(2, 4);
+    EXPECT_FALSE(p.satisfied_by(orgs({0})));
+    EXPECT_TRUE(p.satisfied_by(orgs({0, 3})));
+    EXPECT_TRUE(p.satisfied_by(orgs({0, 1, 2, 3})));
+    EXPECT_FALSE(p.satisfied_by(orgs({4, 5})));  // outside the set
+    EXPECT_EQ(p.min_orgs_required(), 2u);
+}
+
+TEST(EndorsementPolicyTest, NestedPolicy) {
+    // (Org0 AND Org1) OR (2 of {Org2, Org3, Org4})
+    const auto p = EndorsementPolicy::any_of(
+        {EndorsementPolicy::all_of(
+             {EndorsementPolicy::org(OrgId{0}), EndorsementPolicy::org(OrgId{1})}),
+         EndorsementPolicy::out_of(2, {EndorsementPolicy::org(OrgId{2}),
+                                       EndorsementPolicy::org(OrgId{3}),
+                                       EndorsementPolicy::org(OrgId{4})})});
+    EXPECT_TRUE(p.satisfied_by(orgs({0, 1})));
+    EXPECT_TRUE(p.satisfied_by(orgs({2, 4})));
+    EXPECT_FALSE(p.satisfied_by(orgs({0, 2})));
+    EXPECT_FALSE(p.satisfied_by(orgs({2})));
+    EXPECT_EQ(p.min_orgs_required(), 2u);
+}
+
+TEST(EndorsementPolicyTest, OutOfValidation) {
+    EXPECT_THROW(EndorsementPolicy::out_of(1, {}), std::invalid_argument);
+    EXPECT_THROW(
+        EndorsementPolicy::out_of(3, {EndorsementPolicy::org(OrgId{0}),
+                                      EndorsementPolicy::org(OrgId{1})}),
+        std::invalid_argument);
+    EXPECT_THROW(EndorsementPolicy::k_of_n_orgs(1, 0), std::invalid_argument);
+}
+
+TEST(EndorsementPolicyTest, ZeroOfNAlwaysSatisfied) {
+    const auto p = EndorsementPolicy::k_of_n_orgs(0, 3);
+    EXPECT_TRUE(p.satisfied_by({}));
+}
+
+TEST(EndorsementPolicyTest, ToStringReadable) {
+    const auto p = EndorsementPolicy::k_of_n_orgs(2, 3);
+    EXPECT_EQ(p.to_string(), "OutOf(2, Org(0), Org(1), Org(2))");
+}
+
+class KofNSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KofNSweep, ExactThreshold) {
+    const auto [k, n] = GetParam();
+    const auto p = EndorsementPolicy::k_of_n_orgs(static_cast<std::size_t>(k),
+                                                  static_cast<std::size_t>(n));
+    for (int have = 0; have <= n; ++have) {
+        std::set<OrgId> s;
+        for (int i = 0; i < have; ++i) {
+            s.insert(OrgId{static_cast<std::uint64_t>(i)});
+        }
+        EXPECT_EQ(p.satisfied_by(s), have >= k) << "k=" << k << " n=" << n
+                                                << " have=" << have;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, KofNSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(4, 6, 8)));
+
+}  // namespace
+}  // namespace fl::policy

@@ -1,0 +1,145 @@
+#include "sim/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fl::sim {
+namespace {
+
+TEST(CpuStationTest, SingleServerSerializesJobs) {
+    Simulator sim;
+    CpuStation cpu(sim, 1);
+    std::vector<double> completions;
+    for (int i = 0; i < 3; ++i) {
+        cpu.submit(Duration::millis(10),
+                   [&] { completions.push_back(sim.now().as_seconds()); });
+    }
+    sim.run();
+    ASSERT_EQ(completions.size(), 3u);
+    EXPECT_NEAR(completions[0], 0.010, 1e-9);
+    EXPECT_NEAR(completions[1], 0.020, 1e-9);
+    EXPECT_NEAR(completions[2], 0.030, 1e-9);
+}
+
+TEST(CpuStationTest, ParallelServersOverlap) {
+    Simulator sim;
+    CpuStation cpu(sim, 3);
+    std::vector<double> completions;
+    for (int i = 0; i < 3; ++i) {
+        cpu.submit(Duration::millis(10),
+                   [&] { completions.push_back(sim.now().as_seconds()); });
+    }
+    sim.run();
+    ASSERT_EQ(completions.size(), 3u);
+    for (const double c : completions) {
+        EXPECT_NEAR(c, 0.010, 1e-9);
+    }
+}
+
+TEST(CpuStationTest, MixedLoadQueues) {
+    Simulator sim;
+    CpuStation cpu(sim, 2);
+    std::vector<double> completions;
+    for (int i = 0; i < 4; ++i) {
+        cpu.submit(Duration::millis(10),
+                   [&] { completions.push_back(sim.now().as_seconds()); });
+    }
+    sim.run();
+    ASSERT_EQ(completions.size(), 4u);
+    EXPECT_NEAR(completions[0], 0.010, 1e-9);
+    EXPECT_NEAR(completions[1], 0.010, 1e-9);
+    EXPECT_NEAR(completions[2], 0.020, 1e-9);
+    EXPECT_NEAR(completions[3], 0.020, 1e-9);
+}
+
+TEST(CpuStationTest, IdleServerStartsImmediately) {
+    Simulator sim;
+    CpuStation cpu(sim, 1);
+    double first = 0.0;
+    cpu.submit(Duration::millis(5), [&] { first = sim.now().as_seconds(); });
+    sim.run();
+    double second = 0.0;
+    sim.schedule_after(Duration::millis(100), [&] {
+        cpu.submit(Duration::millis(5), [&] { second = sim.now().as_seconds(); });
+    });
+    sim.run();
+    EXPECT_NEAR(first, 0.005, 1e-9);
+    EXPECT_NEAR(second, 0.110, 1e-9);  // no carry-over of idle time
+}
+
+TEST(CpuStationTest, BacklogReporting) {
+    Simulator sim;
+    CpuStation cpu(sim, 1);
+    EXPECT_EQ(cpu.current_backlog(), Duration::zero());
+    cpu.submit(Duration::millis(10), [] {});
+    cpu.submit(Duration::millis(10), [] {});
+    EXPECT_EQ(cpu.current_backlog(), Duration::millis(20));
+    sim.run();
+    EXPECT_EQ(cpu.current_backlog(), Duration::zero());
+}
+
+TEST(CpuStationTest, ZeroCostJobRunsAtNow) {
+    Simulator sim;
+    CpuStation cpu(sim, 1);
+    double at = -1.0;
+    cpu.submit(Duration::zero(), [&] { at = sim.now().as_seconds(); });
+    sim.run();
+    EXPECT_EQ(at, 0.0);
+}
+
+TEST(CpuStationTest, NegativeCostClampsToZero) {
+    Simulator sim;
+    CpuStation cpu(sim, 1);
+    bool ran = false;
+    cpu.submit(Duration::millis(-10), [&] { ran = true; });
+    sim.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(sim.now(), TimePoint::origin());
+}
+
+TEST(CpuStationTest, StatsTrackCompletionAndUtilization) {
+    Simulator sim;
+    CpuStation cpu(sim, 2);
+    for (int i = 0; i < 4; ++i) {
+        cpu.submit(Duration::millis(10), [] {});
+    }
+    sim.run();
+    EXPECT_EQ(cpu.jobs_completed(), 4u);
+    EXPECT_EQ(cpu.busy_time(), Duration::millis(40));
+    // 40 ms of work on 2 servers over 20 ms elapsed = 100% utilization.
+    EXPECT_NEAR(cpu.utilization(), 1.0, 1e-9);
+}
+
+TEST(CpuStationTest, ZeroParallelismRejected) {
+    Simulator sim;
+    EXPECT_THROW(CpuStation(sim, 0), std::invalid_argument);
+}
+
+class CpuSaturationSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CpuSaturationSweep, ThroughputCapsAtParallelism) {
+    // Offer 2x the station's capacity for 1 simulated second; completed
+    // work must equal parallelism * 1 s within one job.
+    const unsigned k = GetParam();
+    Simulator sim;
+    CpuStation cpu(sim, k);
+    const Duration job = Duration::millis(10);
+    const int jobs = static_cast<int>(2 * k * 100);
+    int completed_by_1s = 0;
+    for (int i = 0; i < jobs; ++i) {
+        cpu.submit(job, [&] {
+            if (sim.now() <= TimePoint::origin() + Duration::seconds(1)) {
+                ++completed_by_1s;
+            }
+        });
+    }
+    sim.run();
+    EXPECT_NEAR(completed_by_1s, static_cast<int>(k * 100), static_cast<int>(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Parallelism, CpuSaturationSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+}  // namespace
+}  // namespace fl::sim

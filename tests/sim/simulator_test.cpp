@@ -1,0 +1,160 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fl::sim {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule_at(TimePoint::from_nanos(30), [&] { order.push_back(3); });
+    sim.schedule_at(TimePoint::from_nanos(10), [&] { order.push_back(1); });
+    sim.schedule_at(TimePoint::from_nanos(20), [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, TiesBreakByScheduleOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    const TimePoint t = TimePoint::from_nanos(5);
+    for (int i = 0; i < 10; ++i) {
+        sim.schedule_at(t, [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(order[i], i);
+    }
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+    Simulator sim;
+    TimePoint seen;
+    sim.schedule_after(Duration::millis(7), [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen, TimePoint::origin() + Duration::millis(7));
+    EXPECT_EQ(sim.now(), seen);
+}
+
+TEST(SimulatorTest, PastSchedulingClampsToNow) {
+    Simulator sim;
+    sim.schedule_after(Duration::millis(10), [&] {
+        // Scheduling "in the past" must not rewind the clock.
+        sim.schedule_at(TimePoint::from_nanos(1), [&] {
+            EXPECT_GE(sim.now().as_nanos(), Duration::millis(10).as_nanos());
+        });
+    });
+    sim.run();
+    EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToZero) {
+    Simulator sim;
+    bool ran = false;
+    sim.schedule_after(Duration::millis(-5), [&] { ran = true; });
+    sim.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(sim.now(), TimePoint::origin());
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 5) {
+            sim.schedule_after(Duration::millis(1), recurse);
+        }
+    };
+    sim.schedule_after(Duration::zero(), recurse);
+    sim.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::millis(4));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+    Simulator sim;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i) {
+        sim.schedule_at(TimePoint::origin() + Duration::millis(i), [&] { ++count; });
+    }
+    sim.run_until(TimePoint::origin() + Duration::millis(5));
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::millis(5));
+    sim.run();
+    EXPECT_EQ(count, 10);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockOnEmptyQueue) {
+    Simulator sim;
+    sim.run_until(TimePoint::origin() + Duration::seconds(3));
+    EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::seconds(3));
+}
+
+TEST(SimulatorTest, StepExecutesOne) {
+    Simulator sim;
+    int count = 0;
+    sim.schedule_after(Duration::millis(1), [&] { ++count; });
+    sim.schedule_after(Duration::millis(2), [&] { ++count; });
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, TimerCancellation) {
+    Simulator sim;
+    bool fired = false;
+    TimerHandle h = sim.schedule_timer(Duration::millis(5), [&] { fired = true; });
+    EXPECT_TRUE(h.active());
+    h.cancel();
+    EXPECT_FALSE(h.active());
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelledTimerDoesNotCountAsExecution) {
+    Simulator sim;
+    TimerHandle h = sim.schedule_timer(Duration::millis(5), [] {});
+    h.cancel();
+    sim.schedule_after(Duration::millis(10), [] {});
+    EXPECT_EQ(sim.run(), 1u);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoop) {
+    Simulator sim;
+    bool fired = false;
+    TimerHandle h = sim.schedule_timer(Duration::millis(1), [&] { fired = true; });
+    sim.run();
+    EXPECT_TRUE(fired);
+    h.cancel();  // must not crash
+    EXPECT_FALSE(h.active());
+}
+
+TEST(SimulatorTest, DefaultTimerHandleInactive) {
+    TimerHandle h;
+    EXPECT_FALSE(h.active());
+    h.cancel();  // no-op
+}
+
+TEST(SimulatorTest, EventLimitThrows) {
+    Simulator sim;
+    sim.set_event_limit(10);
+    std::function<void()> forever = [&] { sim.schedule_after(Duration::millis(1), forever); };
+    sim.schedule_after(Duration::zero(), forever);
+    EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(SimulatorTest, PendingCount) {
+    Simulator sim;
+    EXPECT_TRUE(sim.empty());
+    sim.schedule_after(Duration::millis(1), [] {});
+    sim.schedule_after(Duration::millis(2), [] {});
+    EXPECT_EQ(sim.pending(), 2u);
+}
+
+}  // namespace
+}  // namespace fl::sim

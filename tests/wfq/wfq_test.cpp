@@ -1,0 +1,217 @@
+#include "wfq/wfq.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fl::wfq {
+namespace {
+
+TEST(WfqSchedulerTest, ConstructionValidation) {
+    EXPECT_THROW(WfqScheduler<int>({}), std::invalid_argument);
+    EXPECT_THROW(WfqScheduler<int>({1.0, 0.0}), std::invalid_argument);
+    EXPECT_THROW(WfqScheduler<int>({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(WfqSchedulerTest, EmptyDequeue) {
+    WfqScheduler<int> s({1.0, 1.0});
+    EXPECT_TRUE(s.empty());
+    EXPECT_FALSE(s.dequeue().has_value());
+}
+
+TEST(WfqSchedulerTest, SingleFlowFifo) {
+    WfqScheduler<int> s({1.0});
+    for (int i = 0; i < 5; ++i) {
+        s.enqueue(0, 1.0, i);
+    }
+    for (int i = 0; i < 5; ++i) {
+        const auto out = s.dequeue();
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(out->item, i);
+    }
+}
+
+TEST(WfqSchedulerTest, PerFlowFifoPreserved) {
+    WfqScheduler<int> s({1.0, 1.0});
+    for (int i = 0; i < 10; ++i) {
+        s.enqueue(static_cast<std::size_t>(i % 2), 1.0, i);
+    }
+    int last_even = -2;
+    int last_odd = -1;
+    while (auto out = s.dequeue()) {
+        if (out->flow == 0) {
+            EXPECT_EQ(out->item, last_even + 2);
+            last_even = out->item;
+        } else {
+            EXPECT_EQ(out->item, last_odd + 2);
+            last_odd = out->item;
+        }
+    }
+}
+
+TEST(WfqSchedulerTest, EqualWeightsAlternate) {
+    WfqScheduler<int> s({1.0, 1.0});
+    for (int i = 0; i < 6; ++i) {
+        s.enqueue(0, 1.0, 100 + i);
+        s.enqueue(1, 1.0, 200 + i);
+    }
+    // With equal weights and equal costs, service alternates.
+    int count0 = 0;
+    int count1 = 0;
+    for (int i = 0; i < 6; ++i) {
+        const auto out = s.dequeue();
+        ASSERT_TRUE(out);
+        (out->flow == 0 ? count0 : count1)++;
+    }
+    EXPECT_EQ(count0 + count1, 6);
+    EXPECT_LE(std::abs(count0 - count1), 1);
+}
+
+class WfqFairnessSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(WfqFairnessSweep, BackloggedFlowsShareByWeight) {
+    const auto [w0, w1] = GetParam();
+    WfqScheduler<int> s({w0, w1});
+    // Both flows continuously backlogged with unit-cost packets.
+    const int kPackets = 3000;
+    for (int i = 0; i < kPackets; ++i) {
+        s.enqueue(0, 1.0, i);
+        s.enqueue(1, 1.0, i);
+    }
+    // Serve a window smaller than either backlog.
+    const int kServe = 2000;
+    for (int i = 0; i < kServe; ++i) {
+        ASSERT_TRUE(s.dequeue().has_value());
+    }
+    // SFQ bound: |W0/w0 - W1/w1| <= cmax/w0 + cmax/w1.
+    const double normalized0 = s.served(0) / w0;
+    const double normalized1 = s.served(1) / w1;
+    EXPECT_LE(std::abs(normalized0 - normalized1), 1.0 / w0 + 1.0 / w1 + 1e-9)
+        << "w0=" << w0 << " w1=" << w1;
+    // And absolute shares match the weight ratio within 1%.
+    const double expected0 = kServe * w0 / (w0 + w1);
+    EXPECT_NEAR(s.served(0), expected0, kServe * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(WeightRatios, WfqFairnessSweep,
+                         ::testing::Values(std::make_tuple(1.0, 1.0),
+                                           std::make_tuple(2.0, 1.0),
+                                           std::make_tuple(3.0, 5.0),
+                                           std::make_tuple(10.0, 1.0),
+                                           std::make_tuple(0.5, 0.25)));
+
+TEST(WfqSchedulerTest, IdleFlowDoesNotAccumulateCredit) {
+    WfqScheduler<int> s({1.0, 1.0});
+    // Flow 0 served alone for a while.
+    for (int i = 0; i < 100; ++i) {
+        s.enqueue(0, 1.0, i);
+    }
+    for (int i = 0; i < 100; ++i) {
+        (void)s.dequeue();
+    }
+    // Flow 1 wakes up; it must NOT monopolize to "catch up" on lost time.
+    for (int i = 0; i < 100; ++i) {
+        s.enqueue(0, 1.0, 1000 + i);
+        s.enqueue(1, 1.0, 2000 + i);
+    }
+    double served0_before = s.served(0);
+    double served1_before = s.served(1);
+    for (int i = 0; i < 100; ++i) {
+        (void)s.dequeue();
+    }
+    const double delta0 = s.served(0) - served0_before;
+    const double delta1 = s.served(1) - served1_before;
+    EXPECT_NEAR(delta0, delta1, 2.0);
+}
+
+TEST(WfqSchedulerTest, VariableCostsRespectWork) {
+    // Flow 0 sends big packets, flow 1 small ones; *work* should split
+    // evenly for equal weights, so flow 1 gets more packets through.
+    WfqScheduler<int> s({1.0, 1.0});
+    for (int i = 0; i < 400; ++i) {
+        s.enqueue(0, 4.0, i);
+        s.enqueue(1, 1.0, i);
+    }
+    int served1 = 0;
+    double work = 0.0;
+    while (work < 400.0) {
+        const auto out = s.dequeue();
+        ASSERT_TRUE(out);
+        work += out->flow == 0 ? 4.0 : 1.0;
+        if (out->flow == 1) ++served1;
+    }
+    // flow1 should have moved ~200 work = ~200 packets vs flow0 ~50 packets.
+    EXPECT_NEAR(served1, 200, 10);
+}
+
+TEST(WfqSchedulerTest, BadFlowIndexThrows) {
+    WfqScheduler<int> s({1.0});
+    EXPECT_THROW(s.enqueue(1, 1.0, 0), std::out_of_range);
+}
+
+// ---------------------------------------------------------------- WRR/DRR
+
+TEST(WrrSchedulerTest, SharesFollowWeights) {
+    WrrScheduler<int> s({3.0, 1.0});
+    for (int i = 0; i < 800; ++i) {
+        s.enqueue(0, 1.0, i);
+        s.enqueue(1, 1.0, i);
+    }
+    for (int i = 0; i < 400; ++i) {
+        ASSERT_TRUE(s.dequeue().has_value());
+    }
+    EXPECT_NEAR(s.served(0) / (s.served(1) + 1e-9), 3.0, 0.25);
+}
+
+TEST(WrrSchedulerTest, EmptyFlowSkipped) {
+    WrrScheduler<int> s({1.0, 1.0});
+    s.enqueue(0, 1.0, 42);
+    const auto out = s.dequeue();
+    ASSERT_TRUE(out);
+    EXPECT_EQ(out->item, 42);
+    EXPECT_FALSE(s.dequeue().has_value());
+}
+
+TEST(WrrSchedulerTest, ConstructionValidation) {
+    EXPECT_THROW(WrrScheduler<int>({}), std::invalid_argument);
+    EXPECT_THROW(WrrScheduler<int>({-1.0}), std::invalid_argument);
+    EXPECT_THROW(WrrScheduler<int>({1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(WrrSchedulerTest, ZeroWeightFlowServedOnlyWhenAlone) {
+    WrrScheduler<int> s({1.0, 0.0});
+    s.enqueue(1, 1.0, 7);
+    const auto out = s.dequeue();  // degenerate path: only weight-0 backlogged
+    ASSERT_TRUE(out);
+    EXPECT_EQ(out->item, 7);
+}
+
+// ------------------------------------------------------------------- FIFO
+
+TEST(FifoSchedulerTest, GlobalOrder) {
+    FifoScheduler<int> s;
+    s.enqueue(1, 1.0, 10);
+    s.enqueue(0, 1.0, 20);
+    s.enqueue(1, 1.0, 30);
+    EXPECT_EQ(s.dequeue()->item, 10);
+    EXPECT_EQ(s.dequeue()->item, 20);
+    EXPECT_EQ(s.dequeue()->item, 30);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(FifoSchedulerTest, NoIsolation) {
+    // A flooding flow starves the other — the vanilla-Fabric failure mode.
+    FifoScheduler<int> s;
+    for (int i = 0; i < 100; ++i) {
+        s.enqueue(0, 1.0, i);  // flood
+    }
+    s.enqueue(1, 1.0, 999);  // victim arrives last
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(s.dequeue()->flow, 0u);
+    }
+    EXPECT_EQ(s.dequeue()->item, 999);
+}
+
+}  // namespace
+}  // namespace fl::wfq
