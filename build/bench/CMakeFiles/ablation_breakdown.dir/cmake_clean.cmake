@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_breakdown.dir/ablation_breakdown.cpp.o"
+  "CMakeFiles/ablation_breakdown.dir/ablation_breakdown.cpp.o.d"
+  "ablation_breakdown"
+  "ablation_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

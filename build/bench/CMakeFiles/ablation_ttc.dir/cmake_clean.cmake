@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ttc.dir/ablation_ttc.cpp.o"
+  "CMakeFiles/ablation_ttc.dir/ablation_ttc.cpp.o.d"
+  "ablation_ttc"
+  "ablation_ttc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ttc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

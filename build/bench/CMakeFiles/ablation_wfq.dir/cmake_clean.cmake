@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wfq.dir/ablation_wfq.cpp.o"
+  "CMakeFiles/ablation_wfq.dir/ablation_wfq.cpp.o.d"
+  "ablation_wfq"
+  "ablation_wfq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

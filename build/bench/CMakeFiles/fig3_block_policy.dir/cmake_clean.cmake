@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_block_policy.dir/fig3_block_policy.cpp.o"
+  "CMakeFiles/fig3_block_policy.dir/fig3_block_policy.cpp.o.d"
+  "fig3_block_policy"
+  "fig3_block_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_block_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_peers.dir/fig4_peers.cpp.o"
+  "CMakeFiles/fig4_peers.dir/fig4_peers.cpp.o.d"
+  "fig4_peers"
+  "fig4_peers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_peers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fairness.dir/fig6_fairness.cpp.o"
+  "CMakeFiles/fig6_fairness.dir/fig6_fairness.cpp.o.d"
+  "fig6_fairness"
+  "fig6_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

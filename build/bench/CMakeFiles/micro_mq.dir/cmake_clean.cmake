@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mq.dir/micro_mq.cpp.o"
+  "CMakeFiles/micro_mq.dir/micro_mq.cpp.o.d"
+  "micro_mq"
+  "micro_mq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ordering.dir/micro_ordering.cpp.o"
+  "CMakeFiles/micro_ordering.dir/micro_ordering.cpp.o.d"
+  "micro_ordering"
+  "micro_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

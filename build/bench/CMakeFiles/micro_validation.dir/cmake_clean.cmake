@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_validation.dir/micro_validation.cpp.o"
+  "CMakeFiles/micro_validation.dir/micro_validation.cpp.o.d"
+  "micro_validation"
+  "micro_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_wfq.dir/micro_wfq.cpp.o"
+  "CMakeFiles/micro_wfq.dir/micro_wfq.cpp.o.d"
+  "micro_wfq"
+  "micro_wfq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_wfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

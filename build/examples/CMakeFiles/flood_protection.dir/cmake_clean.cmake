@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flood_protection.dir/flood_protection.cpp.o"
+  "CMakeFiles/flood_protection.dir/flood_protection.cpp.o.d"
+  "flood_protection"
+  "flood_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flood_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

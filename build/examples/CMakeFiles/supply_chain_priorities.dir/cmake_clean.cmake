@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supply_chain_priorities.dir/supply_chain_priorities.cpp.o"
+  "CMakeFiles/supply_chain_priorities.dir/supply_chain_priorities.cpp.o.d"
+  "supply_chain_priorities"
+  "supply_chain_priorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supply_chain_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for supply_chain_priorities.
+# This may be replaced when dependencies are built.

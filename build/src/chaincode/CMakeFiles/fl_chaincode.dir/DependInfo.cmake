@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chaincode/analytics.cpp" "src/chaincode/CMakeFiles/fl_chaincode.dir/analytics.cpp.o" "gcc" "src/chaincode/CMakeFiles/fl_chaincode.dir/analytics.cpp.o.d"
+  "/root/repo/src/chaincode/asset_transfer.cpp" "src/chaincode/CMakeFiles/fl_chaincode.dir/asset_transfer.cpp.o" "gcc" "src/chaincode/CMakeFiles/fl_chaincode.dir/asset_transfer.cpp.o.d"
+  "/root/repo/src/chaincode/chaincode.cpp" "src/chaincode/CMakeFiles/fl_chaincode.dir/chaincode.cpp.o" "gcc" "src/chaincode/CMakeFiles/fl_chaincode.dir/chaincode.cpp.o.d"
+  "/root/repo/src/chaincode/record_keeper.cpp" "src/chaincode/CMakeFiles/fl_chaincode.dir/record_keeper.cpp.o" "gcc" "src/chaincode/CMakeFiles/fl_chaincode.dir/record_keeper.cpp.o.d"
+  "/root/repo/src/chaincode/registry.cpp" "src/chaincode/CMakeFiles/fl_chaincode.dir/registry.cpp.o" "gcc" "src/chaincode/CMakeFiles/fl_chaincode.dir/registry.cpp.o.d"
+  "/root/repo/src/chaincode/supply_chain.cpp" "src/chaincode/CMakeFiles/fl_chaincode.dir/supply_chain.cpp.o" "gcc" "src/chaincode/CMakeFiles/fl_chaincode.dir/supply_chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ledger/CMakeFiles/fl_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_chaincode.dir/analytics.cpp.o"
+  "CMakeFiles/fl_chaincode.dir/analytics.cpp.o.d"
+  "CMakeFiles/fl_chaincode.dir/asset_transfer.cpp.o"
+  "CMakeFiles/fl_chaincode.dir/asset_transfer.cpp.o.d"
+  "CMakeFiles/fl_chaincode.dir/chaincode.cpp.o"
+  "CMakeFiles/fl_chaincode.dir/chaincode.cpp.o.d"
+  "CMakeFiles/fl_chaincode.dir/record_keeper.cpp.o"
+  "CMakeFiles/fl_chaincode.dir/record_keeper.cpp.o.d"
+  "CMakeFiles/fl_chaincode.dir/registry.cpp.o"
+  "CMakeFiles/fl_chaincode.dir/registry.cpp.o.d"
+  "CMakeFiles/fl_chaincode.dir/supply_chain.cpp.o"
+  "CMakeFiles/fl_chaincode.dir/supply_chain.cpp.o.d"
+  "libfl_chaincode.a"
+  "libfl_chaincode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_chaincode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_client.dir/client.cpp.o"
+  "CMakeFiles/fl_client.dir/client.cpp.o.d"
+  "libfl_client.a"
+  "libfl_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

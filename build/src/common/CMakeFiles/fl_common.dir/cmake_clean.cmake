@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_common.dir/bytes.cpp.o"
+  "CMakeFiles/fl_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/fl_common.dir/log.cpp.o"
+  "CMakeFiles/fl_common.dir/log.cpp.o.d"
+  "CMakeFiles/fl_common.dir/rng.cpp.o"
+  "CMakeFiles/fl_common.dir/rng.cpp.o.d"
+  "CMakeFiles/fl_common.dir/stats.cpp.o"
+  "CMakeFiles/fl_common.dir/stats.cpp.o.d"
+  "libfl_common.a"
+  "libfl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_core.dir/fabric_network.cpp.o"
+  "CMakeFiles/fl_core.dir/fabric_network.cpp.o.d"
+  "CMakeFiles/fl_core.dir/metrics.cpp.o"
+  "CMakeFiles/fl_core.dir/metrics.cpp.o.d"
+  "libfl_core.a"
+  "libfl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/fl_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/fl_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/fl_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/fl_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/fl_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/fl_crypto.dir/signature.cpp.o"
+  "CMakeFiles/fl_crypto.dir/signature.cpp.o.d"
+  "libfl_crypto.a"
+  "libfl_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

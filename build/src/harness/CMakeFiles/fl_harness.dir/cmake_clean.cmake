@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_harness.dir/experiment.cpp.o"
+  "CMakeFiles/fl_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/fl_harness.dir/report.cpp.o"
+  "CMakeFiles/fl_harness.dir/report.cpp.o.d"
+  "CMakeFiles/fl_harness.dir/workload.cpp.o"
+  "CMakeFiles/fl_harness.dir/workload.cpp.o.d"
+  "libfl_harness.a"
+  "libfl_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

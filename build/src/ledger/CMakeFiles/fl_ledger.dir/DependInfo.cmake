@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ledger/block.cpp" "src/ledger/CMakeFiles/fl_ledger.dir/block.cpp.o" "gcc" "src/ledger/CMakeFiles/fl_ledger.dir/block.cpp.o.d"
+  "/root/repo/src/ledger/block_store.cpp" "src/ledger/CMakeFiles/fl_ledger.dir/block_store.cpp.o" "gcc" "src/ledger/CMakeFiles/fl_ledger.dir/block_store.cpp.o.d"
+  "/root/repo/src/ledger/rwset.cpp" "src/ledger/CMakeFiles/fl_ledger.dir/rwset.cpp.o" "gcc" "src/ledger/CMakeFiles/fl_ledger.dir/rwset.cpp.o.d"
+  "/root/repo/src/ledger/transaction.cpp" "src/ledger/CMakeFiles/fl_ledger.dir/transaction.cpp.o" "gcc" "src/ledger/CMakeFiles/fl_ledger.dir/transaction.cpp.o.d"
+  "/root/repo/src/ledger/world_state.cpp" "src/ledger/CMakeFiles/fl_ledger.dir/world_state.cpp.o" "gcc" "src/ledger/CMakeFiles/fl_ledger.dir/world_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fl_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_ledger.dir/block.cpp.o"
+  "CMakeFiles/fl_ledger.dir/block.cpp.o.d"
+  "CMakeFiles/fl_ledger.dir/block_store.cpp.o"
+  "CMakeFiles/fl_ledger.dir/block_store.cpp.o.d"
+  "CMakeFiles/fl_ledger.dir/rwset.cpp.o"
+  "CMakeFiles/fl_ledger.dir/rwset.cpp.o.d"
+  "CMakeFiles/fl_ledger.dir/transaction.cpp.o"
+  "CMakeFiles/fl_ledger.dir/transaction.cpp.o.d"
+  "CMakeFiles/fl_ledger.dir/world_state.cpp.o"
+  "CMakeFiles/fl_ledger.dir/world_state.cpp.o.d"
+  "libfl_ledger.a"
+  "libfl_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_orderer.dir/block_generator.cpp.o"
+  "CMakeFiles/fl_orderer.dir/block_generator.cpp.o.d"
+  "CMakeFiles/fl_orderer.dir/consolidator.cpp.o"
+  "CMakeFiles/fl_orderer.dir/consolidator.cpp.o.d"
+  "CMakeFiles/fl_orderer.dir/osn.cpp.o"
+  "CMakeFiles/fl_orderer.dir/osn.cpp.o.d"
+  "libfl_orderer.a"
+  "libfl_orderer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_orderer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

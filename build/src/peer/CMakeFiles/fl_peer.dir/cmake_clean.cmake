@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_peer.dir/endorser.cpp.o"
+  "CMakeFiles/fl_peer.dir/endorser.cpp.o.d"
+  "CMakeFiles/fl_peer.dir/peer.cpp.o"
+  "CMakeFiles/fl_peer.dir/peer.cpp.o.d"
+  "CMakeFiles/fl_peer.dir/priority_calculator.cpp.o"
+  "CMakeFiles/fl_peer.dir/priority_calculator.cpp.o.d"
+  "CMakeFiles/fl_peer.dir/validator.cpp.o"
+  "CMakeFiles/fl_peer.dir/validator.cpp.o.d"
+  "libfl_peer.a"
+  "libfl_peer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_peer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/block_formation_policy.cpp" "src/policy/CMakeFiles/fl_policy.dir/block_formation_policy.cpp.o" "gcc" "src/policy/CMakeFiles/fl_policy.dir/block_formation_policy.cpp.o.d"
+  "/root/repo/src/policy/consolidation_policy.cpp" "src/policy/CMakeFiles/fl_policy.dir/consolidation_policy.cpp.o" "gcc" "src/policy/CMakeFiles/fl_policy.dir/consolidation_policy.cpp.o.d"
+  "/root/repo/src/policy/endorsement_policy.cpp" "src/policy/CMakeFiles/fl_policy.dir/endorsement_policy.cpp.o" "gcc" "src/policy/CMakeFiles/fl_policy.dir/endorsement_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/fl_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fl_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_policy.dir/block_formation_policy.cpp.o"
+  "CMakeFiles/fl_policy.dir/block_formation_policy.cpp.o.d"
+  "CMakeFiles/fl_policy.dir/consolidation_policy.cpp.o"
+  "CMakeFiles/fl_policy.dir/consolidation_policy.cpp.o.d"
+  "CMakeFiles/fl_policy.dir/endorsement_policy.cpp.o"
+  "CMakeFiles/fl_policy.dir/endorsement_policy.cpp.o.d"
+  "libfl_policy.a"
+  "libfl_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

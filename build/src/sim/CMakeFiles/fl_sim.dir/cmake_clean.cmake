@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_sim.dir/cpu.cpp.o"
+  "CMakeFiles/fl_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/fl_sim.dir/network.cpp.o"
+  "CMakeFiles/fl_sim.dir/network.cpp.o.d"
+  "CMakeFiles/fl_sim.dir/simulator.cpp.o"
+  "CMakeFiles/fl_sim.dir/simulator.cpp.o.d"
+  "libfl_sim.a"
+  "libfl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_formation_test.dir/policy/block_formation_test.cpp.o"
+  "CMakeFiles/block_formation_test.dir/policy/block_formation_test.cpp.o.d"
+  "block_formation_test"
+  "block_formation_test.pdb"
+  "block_formation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_formation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/bytes_test.cpp" "tests/CMakeFiles/bytes_test.dir/common/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/bytes_test.dir/common/bytes_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ledger/CMakeFiles/fl_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/chaincode/CMakeFiles/fl_chaincode.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/fl_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/peer/CMakeFiles/fl_peer.dir/DependInfo.cmake"
+  "/root/repo/build/src/orderer/CMakeFiles/fl_orderer.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/fl_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/fl_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_test.dir/integration/byzantine_test.cpp.o"
+  "CMakeFiles/byzantine_test.dir/integration/byzantine_test.cpp.o.d"
+  "byzantine_test"
+  "byzantine_test.pdb"
+  "byzantine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calculator_test.dir/peer/calculator_test.cpp.o"
+  "CMakeFiles/calculator_test.dir/peer/calculator_test.cpp.o.d"
+  "calculator_test"
+  "calculator_test.pdb"
+  "calculator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calculator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_update_test.dir/orderer/config_update_test.cpp.o"
+  "CMakeFiles/config_update_test.dir/orderer/config_update_test.cpp.o.d"
+  "config_update_test"
+  "config_update_test.pdb"
+  "config_update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

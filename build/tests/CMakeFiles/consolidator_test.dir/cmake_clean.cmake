@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consolidator_test.dir/orderer/consolidator_test.cpp.o"
+  "CMakeFiles/consolidator_test.dir/orderer/consolidator_test.cpp.o.d"
+  "consolidator_test"
+  "consolidator_test.pdb"
+  "consolidator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consolidator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endorsement_policy_test.dir/policy/endorsement_policy_test.cpp.o"
+  "CMakeFiles/endorsement_policy_test.dir/policy/endorsement_policy_test.cpp.o.d"
+  "endorsement_policy_test"
+  "endorsement_policy_test.pdb"
+  "endorsement_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endorsement_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

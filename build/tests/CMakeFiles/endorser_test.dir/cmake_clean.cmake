@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endorser_test.dir/peer/endorser_test.cpp.o"
+  "CMakeFiles/endorser_test.dir/peer/endorser_test.cpp.o.d"
+  "endorser_test"
+  "endorser_test.pdb"
+  "endorser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endorser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

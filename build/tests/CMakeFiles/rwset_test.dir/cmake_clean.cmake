@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwset_test.dir/ledger/rwset_test.cpp.o"
+  "CMakeFiles/rwset_test.dir/ledger/rwset_test.cpp.o.d"
+  "rwset_test"
+  "rwset_test.pdb"
+  "rwset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttc_determinism_test.dir/orderer/ttc_determinism_test.cpp.o"
+  "CMakeFiles/ttc_determinism_test.dir/orderer/ttc_determinism_test.cpp.o.d"
+  "ttc_determinism_test"
+  "ttc_determinism_test.pdb"
+  "ttc_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttc_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world_state_test.dir/ledger/world_state_test.cpp.o"
+  "CMakeFiles/world_state_test.dir/ledger/world_state_test.cpp.o.d"
+  "world_state_test"
+  "world_state_test.pdb"
+  "world_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
