@@ -5,16 +5,20 @@
 // phases.  The point: the entire differentiation happens in the *ordering*
 // phase (queueing + weighted-fair block formation); endorsement, validation
 // and notification are class-blind, exactly as the paper's design intends.
+//
+// Sweep layout: two paired points (with/without priority).  This bench also
+// keeps the per-run metrics dumps, so its JSON carries the full phase
+// histograms per run (core::write_metrics_json).
 #include "fig_common.h"
 
 namespace {
 
-void print_breakdown(const char* title, const fl::core::MetricsCollector& metrics) {
+void print_breakdown(const char* title, const fl::harness::AggregateResult& r) {
     using namespace fl;
     std::cout << title << "\n";
     harness::Table table({"priority", "endorse (s)", "ordering (s)",
                           "validate (s)", "notify (s)", "total (s)"});
-    for (const auto& [level, phases] : metrics.phases_by_priority()) {
+    for (const auto& [level, phases] : r.phases_by_priority) {
         const double total = phases.endorsement.mean() + phases.ordering.mean() +
                              phases.validation.mean() +
                              phases.notification.mean();
@@ -29,38 +33,44 @@ void print_breakdown(const char* title, const fl::core::MetricsCollector& metric
     std::cout << "\n";
 }
 
-fl::core::MetricsCollector run(bool priority_enabled, std::uint64_t total_txs) {
-    using namespace fl;
-    auto cfg = bench::paper_config(priority_enabled);
-    cfg.seed = 12345;
-    core::FabricNetwork net(cfg);
-    core::MetricsCollector metrics;
-    net.set_tx_sink([&metrics](const client::TxRecord& r) { metrics.record(r); });
-    harness::WorkloadDriver driver(net, bench::paper_workload(3, 500.0, total_txs),
-                                   Rng(2));
-    driver.start();
-    net.run();
-    return metrics;
-}
-
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace fl;
+    using namespace fl::bench;
 
-    const std::uint64_t total_txs = harness::total_txs_from_env(15'000);
+    const auto cli =
+        harness::parse_sweep_cli(argc, argv, 12345, "ablation_breakdown");
+    const unsigned runs = cli.runs_or(1);
+    const std::uint64_t total_txs = cli.txs_or(15'000);
+
     harness::print_banner(std::cout, "Ablation A3: latency breakdown by phase",
                           "500 tps (capacity knee), policy 2:3:1, arrivals 1:2:1");
 
-    const auto with = run(true, total_txs);
-    const auto without = run(false, total_txs);
+    harness::SweepSpec sweep;
+    sweep.name = "ablation_breakdown";
+    sweep.base_seed = cli.base_seed;
+    sweep.threads = cli.threads;
+    for (const bool priority : {true, false}) {
+        auto point = paper_point(priority ? "priority" : "baseline",
+                                 {{"priority_enabled", priority ? 1.0 : 0.0}},
+                                 paper_config(priority), 500.0, total_txs, runs,
+                                 /*seed_group=*/0);
+        point.spec.keep_run_metrics = true;
+        sweep.points.push_back(std::move(point));
+    }
 
-    print_breakdown("with priority (multi-queue WFQ ordering):", with);
-    print_breakdown("without priority (vanilla FIFO ordering):", without);
+    const auto results = run_timed_sweep(sweep);
+
+    print_breakdown("with priority (multi-queue WFQ ordering):",
+                    results[0].result);
+    print_breakdown("without priority (vanilla FIFO ordering):",
+                    results[1].result);
 
     std::cout << "The endorsement/validation/notification phases are nearly "
                  "identical across\nclasses and modes; the ordering phase is where "
                  "the weighted fair queueing\nredistributes waiting time from high "
                  "to low priority classes.\n";
+    harness::emit_sweep_json(cli, sweep, results, std::cout);
     return 0;
 }

@@ -11,92 +11,93 @@
 // We sweep the endorser disagreement probability (NoisyCalculator) and
 // report, per policy: the rejection rate, how often the consolidated value
 // matches the static deploy-time priority, and end-to-end latency.
+//
+// Sweep layout: one point per (policy, flip probability); the tx_probe
+// counts transactions whose consolidated priority matches the deploy-time
+// intent, the rejection count comes from the OSN consolidation failures.
+// All points share seed_group 0 so every policy judges the same votes.
 #include "fig_common.h"
 
-namespace {
-
-struct Outcome {
-    double rejected_pct = 0.0;
-    double match_pct = 0.0;
-    double avg_latency = 0.0;
-    std::uint64_t committed = 0;
-};
-
-Outcome run(const std::string& consolidation, double flip_probability,
-            std::uint64_t total_txs, std::uint64_t seed) {
+int main(int argc, char** argv) {
     using namespace fl;
-    auto cfg = bench::paper_config(true);
-    cfg.seed = seed;
-    cfg.channel.consolidation_spec = consolidation;
-    cfg.channel.block_size = 100;
-    cfg.channel.block_timeout = Duration::millis(500);
-    auto calc_seed = std::make_shared<std::uint64_t>(seed * 977);
-    cfg.calculator_factory = [flip_probability, calc_seed] {
-        return std::make_unique<peer::NoisyCalculator>(
-            std::make_unique<peer::StaticChaincodeCalculator>(), flip_probability,
-            Rng((*calc_seed)++));
-    };
-    core::FabricNetwork net(cfg);
+    using namespace fl::bench;
 
-    const auto& registry = net.registry();
-    std::uint64_t matched = 0;
-    std::uint64_t committed = 0;
-    RunningStats latency;
-    net.set_tx_sink([&](const client::TxRecord& r) {
-        if (r.failed_before_ordering || !is_valid(r.code)) return;
-        ++committed;
-        latency.add(r.latency().as_seconds());
-        if (r.priority == registry.static_priority(r.chaincode)) {
-            ++matched;
-        }
-    });
+    const auto cli =
+        harness::parse_sweep_cli(argc, argv, 31337, "ablation_consolidation");
+    const unsigned runs = cli.runs_or(1);
+    const std::uint64_t total_txs = cli.txs_or(4'000);
+    const std::vector<std::string> policies = {"kofn:2", "kofn:3", "average",
+                                               "median", "best"};
+    const std::vector<double> flip_probabilities = {0.0, 0.2, 0.5};
 
-    harness::WorkloadDriver driver(net, bench::paper_workload(3, 300.0, total_txs),
-                                   Rng(seed));
-    driver.start();
-    net.run();
-
-    std::uint64_t rejected = 0;
-    for (const auto& osn : net.osns()) {
-        rejected += osn->consolidation_failures();
-    }
-    Outcome out;
-    out.committed = committed;
-    out.rejected_pct = 100.0 * static_cast<double>(rejected) /
-                       static_cast<double>(total_txs);
-    out.match_pct = committed > 0 ? 100.0 * static_cast<double>(matched) /
-                                        static_cast<double>(committed)
-                                  : 0.0;
-    out.avg_latency = latency.mean();
-    return out;
-}
-
-}  // namespace
-
-int main() {
-    using namespace fl;
-
-    const std::uint64_t total_txs = harness::total_txs_from_env(4'000);
     harness::print_banner(
         std::cout, "Ablation A4: consolidation policies vs endorser disagreement",
         "4 endorsers vote, NoisyCalculator flips a vote +/-1 level with prob. p");
 
+    harness::SweepSpec sweep;
+    sweep.name = "ablation_consolidation";
+    sweep.base_seed = cli.base_seed;
+    sweep.threads = cli.threads;
+    for (const std::string& policy : policies) {
+        for (const double p : flip_probabilities) {
+            harness::ExperimentPoint point;
+            point.label = policy + "/p=" + harness::fmt(p, 1);
+            point.params = {{"flip_probability", p}};
+            auto cfg = paper_config(true);
+            cfg.channel.consolidation_spec = policy;
+            cfg.channel.block_size = 100;
+            cfg.channel.block_timeout = Duration::millis(500);
+            // Each endorser gets its own vote stream; the shared counter is
+            // only touched by the sequential per-run network builds.
+            auto calc_seed = std::make_shared<std::uint64_t>(977);
+            cfg.calculator_factory = [p, calc_seed] {
+                return std::make_unique<peer::NoisyCalculator>(
+                    std::make_unique<peer::StaticChaincodeCalculator>(), p,
+                    Rng((*calc_seed)++));
+            };
+            point.spec.config = std::move(cfg);
+            point.spec.make_workload = [total_txs] {
+                return paper_workload(3, 300.0, total_txs);
+            };
+            point.spec.runs = runs;
+            point.spec.tx_probe = [](const client::TxRecord& r,
+                                     core::FabricNetwork& net,
+                                     std::map<std::string, double>& extra) {
+                if (r.failed_before_ordering || !is_valid(r.code)) return;
+                if (r.priority == net.registry().static_priority(r.chaincode)) {
+                    extra["intent_matched"] += 1.0;
+                }
+            };
+            point.seed_group = 0;
+            sweep.points.push_back(std::move(point));
+        }
+    }
+
+    const auto results = run_timed_sweep(sweep);
+
     harness::Table table({"policy", "p(flip)", "rejected %", "intent match %",
                           "committed", "avg latency (s)"});
-    for (const char* policy : {"kofn:2", "kofn:3", "average", "median", "best"}) {
-        for (const double p : {0.0, 0.2, 0.5}) {
-            const Outcome out = run(policy, p, total_txs, 31337);
-            table.add_row({policy, harness::fmt(p, 1),
-                           harness::fmt(out.rejected_pct, 1),
-                           harness::fmt(out.match_pct, 1),
-                           std::to_string(out.committed),
-                           harness::fmt(out.avg_latency, 3)});
-        }
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i].result;
+        const auto committed = static_cast<double>(r.total_committed);
+        const double rejected_pct =
+            100.0 * static_cast<double>(r.total_consolidation_failures) /
+            static_cast<double>(total_txs * r.overall_latency.runs());
+        const double match_pct =
+            committed > 0 ? 100.0 * r.extra_total("intent_matched") / committed
+                          : 0.0;
+        table.add_row({policies[i / flip_probabilities.size()],
+                       harness::fmt(flip_probabilities[i % flip_probabilities.size()], 1),
+                       harness::fmt(rejected_pct, 1),
+                       harness::fmt(match_pct, 1),
+                       std::to_string(r.total_committed),
+                       harness::fmt(r.overall_latency.mean(), 3)});
     }
     table.print(std::cout);
     std::cout << "\nStrict agreement (kofn:3) starts rejecting transactions as "
                  "endorsers disagree;\naggregation policies (average/median) accept "
                  "everything and keep the intended\npriority for the vast majority "
                  "— the robustness/strictness trade-off of §3.2.\n";
+    harness::emit_sweep_json(cli, sweep, results, std::cout);
     return 0;
 }

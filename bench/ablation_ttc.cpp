@@ -8,68 +8,74 @@
 // control records per block, in exchange for cross-OSN determinism that
 // naive local timers cannot provide (the paper's OSN1/OSN2 divergence
 // example).
-#include <iostream>
-
+//
+// Sweep layout: one point per skew value; the run_probe collects the chain
+// shape (timeout-cut blocks, TTCs sent) into the point's extra counters.
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace fl;
     using namespace fl::bench;
 
-    const unsigned runs = harness::runs_from_env(2);
-    const std::uint64_t total_txs = harness::total_txs_from_env(6'000);
+    const auto cli = harness::parse_sweep_cli(argc, argv, 4000, "ablation_ttc");
+    const unsigned runs = cli.runs_or(2);
+    const std::uint64_t total_txs = cli.txs_or(6'000);
+    const std::vector<std::int64_t> skews_ms = {0, 50, 120, 250, 500};
 
     harness::print_banner(
         std::cout, "Ablation A2: TTC protocol under OSN clock skew",
         "policy 2:3:1 @ 300 tps (timeout path dominates), 3 OSNs");
 
-    harness::Table table({"max skew (ms)", "identical blocks", "blocks",
-                          "timeout-cut %", "TTCs sent / block", "avg latency (s)"});
-    for (const std::int64_t skew_ms : {0, 50, 120, 250, 500}) {
-        bool all_identical = true;
-        std::uint64_t blocks = 0;
-        std::uint64_t timeout_cut = 0;
-        std::uint64_t ttcs = 0;
-        RunAggregator latency;
-        for (unsigned run = 0; run < runs; ++run) {
-            auto cfg = paper_config(true);
-            cfg.max_osn_clock_skew = Duration::millis(skew_ms);
-            cfg.seed = 4000 + run;
-            core::FabricNetwork net(cfg);
-            core::MetricsCollector metrics;
-            net.set_tx_sink([&metrics](const client::TxRecord& r) { metrics.record(r); });
-            harness::WorkloadDriver driver(net, paper_workload(3, 300.0, total_txs),
-                                           Rng(cfg.seed * 3 + 1));
-            driver.start();
-            net.run();
-
-            all_identical = all_identical && net.osn_blocks_identical() &&
-                            net.chains_identical();
+    harness::SweepSpec sweep;
+    sweep.name = "ablation_ttc";
+    sweep.base_seed = cli.base_seed;
+    sweep.threads = cli.threads;
+    for (const std::int64_t skew_ms : skews_ms) {
+        harness::ExperimentPoint point;
+        point.label = "skew=" + std::to_string(skew_ms) + "ms";
+        point.params = {{"max_skew_ms", static_cast<double>(skew_ms)}};
+        auto cfg = paper_config(true);
+        cfg.max_osn_clock_skew = Duration::millis(skew_ms);
+        point.spec.config = std::move(cfg);
+        point.spec.make_workload = [total_txs] {
+            return paper_workload(3, 300.0, total_txs);
+        };
+        point.spec.runs = runs;
+        point.spec.run_probe = [](core::FabricNetwork& net,
+                                  std::map<std::string, double>& extra) {
             const auto& chain = net.peers().front()->chain();
-            blocks += chain.height();
             for (BlockNumber n = 0; n < chain.height(); ++n) {
-                if (chain.at(n).cut_by_timeout) ++timeout_cut;
+                if (chain.at(n).cut_by_timeout) extra["timeout_cut"] += 1.0;
             }
             for (const auto& osn : net.osns()) {
                 if (osn->generator() != nullptr) {
-                    ttcs += osn->generator()->ttcs_sent();
+                    extra["ttcs_sent"] +=
+                        static_cast<double>(osn->generator()->ttcs_sent());
                 }
             }
-            latency.add_run(metrics.avg_latency());
-        }
-        table.add_row({std::to_string(skew_ms),
-                       all_identical ? "yes" : "NO (diverged!)",
-                       std::to_string(blocks / runs),
-                       harness::fmt(100.0 * static_cast<double>(timeout_cut) /
-                                        static_cast<double>(blocks), 1),
-                       harness::fmt(static_cast<double>(ttcs) /
-                                        static_cast<double>(blocks), 2),
-                       harness::fmt(latency.mean(), 3)});
+        };
+        sweep.points.push_back(std::move(point));
+    }
+
+    const auto results = run_timed_sweep(sweep);
+
+    harness::Table table({"max skew (ms)", "identical blocks", "blocks",
+                          "timeout-cut %", "TTCs sent / block", "avg latency (s)"});
+    for (std::size_t s = 0; s < skews_ms.size(); ++s) {
+        const auto& r = results[s].result;
+        const double blocks = r.blocks_per_run.mean();
+        table.add_row({std::to_string(skews_ms[s]),
+                       r.all_consistent ? "yes" : "NO (diverged!)",
+                       harness::fmt(blocks, 0),
+                       harness::fmt(100.0 * r.extra_mean("timeout_cut") / blocks, 1),
+                       harness::fmt(r.extra_mean("ttcs_sent") / blocks, 2),
+                       harness::fmt(r.overall_latency.mean(), 3)});
     }
     table.print(std::cout);
     std::cout << "\nEven with local timers skewed by half the block timeout, every "
                  "OSN cuts the\nidentical chain: the first TTC marker per queue "
                  "fixes the cut position in the\ntotal order.  Redundant TTCs from "
                  "slower OSNs are consumed and ignored.\n";
+    harness::emit_sweep_json(cli, sweep, results, std::cout);
     return 0;
 }

@@ -5,18 +5,29 @@
 // size 500, block timeout 1 s, default block formation policy 2:3:1,
 // consolidation k-of-n (k=2), send rate 500 tps, 15 000 transactions per
 // run, averaged over several runs (paper: 10; default here: 3, override via
-// FAIRLEDGER_RUNS / FAIRLEDGER_TOTAL_TXS).
+// FAIRLEDGER_RUNS / FAIRLEDGER_TOTAL_TXS or the --runs/--txs flags).
+//
+// Every bench drives its grid through harness::run_sweep: points execute in
+// parallel (--threads) with per-point seeds derived from --seed, and the
+// tables/JSON below are identical at any thread count (see
+// src/harness/sweep.h for the determinism contract).
 //
 // The orderer consume loop is calibrated to ~2 ms/record so system capacity
 // sits at the paper's 500 tps knee (DESIGN.md §6).
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/fabric_network.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 #include "harness/workload.h"
 
 namespace fl::bench {
@@ -54,20 +65,40 @@ inline harness::Workload paper_workload(std::size_t clients, double total_tps,
     return w;
 }
 
-inline harness::AggregateResult run_paper_experiment(core::NetworkConfig cfg,
-                                                     double total_tps,
-                                                     std::uint64_t total_txs,
-                                                     unsigned runs,
-                                                     std::uint64_t base_seed) {
-    harness::ExperimentSpec spec;
-    spec.config = std::move(cfg);
-    const std::size_t clients = spec.config.clients;
-    spec.make_workload = [clients, total_tps, total_txs] {
+/// One sweep point running the paper workload against `cfg`.  Points with
+/// equal `seed_group` get identical derived seeds — pair each treatment
+/// point with the baseline it is normalized against.
+inline harness::ExperimentPoint paper_point(
+    std::string label, std::vector<std::pair<std::string, double>> params,
+    core::NetworkConfig cfg, double total_tps, std::uint64_t total_txs,
+    unsigned runs, std::uint64_t seed_group) {
+    harness::ExperimentPoint point;
+    point.label = std::move(label);
+    point.params = std::move(params);
+    point.spec.config = std::move(cfg);
+    const std::size_t clients = point.spec.config.clients;
+    point.spec.make_workload = [clients, total_tps, total_txs] {
         return paper_workload(clients, total_tps, total_txs);
     };
-    spec.runs = runs;
-    spec.base_seed = base_seed;
-    return harness::run_experiment(spec);
+    point.spec.runs = runs;
+    point.seed_group = seed_group;
+    return point;
+}
+
+/// Runs the sweep with wall-clock timing and a stdout footer; the timing
+/// never enters the JSON (it would break byte-identity across --threads).
+inline std::vector<harness::PointResult> run_timed_sweep(
+    const harness::SweepSpec& sweep) {
+    const auto started = std::chrono::steady_clock::now();
+    auto results = harness::run_sweep(sweep);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+            .count();
+    const unsigned threads =
+        sweep.threads != 0 ? sweep.threads
+                           : std::max(1u, std::thread::hardware_concurrency());
+    harness::print_sweep_footer(std::cout, results.size(), threads, wall);
+    return results;
 }
 
 inline void print_consistency(const harness::AggregateResult& r) {

@@ -1,0 +1,137 @@
+// Minimal streaming JSON writer with deterministic formatting.
+//
+// The sweep harness's contract is that a BENCH_*.json file is byte-identical
+// for the same base seed at any --threads, so this writer is deliberately
+// boring: fixed 2-space indentation, keys emitted in the order the caller
+// writes them (callers iterate ordered containers), doubles printed with
+// "%.17g" (round-trip exact, no locale surprises as long as the process
+// stays in the default "C" locale — nothing in this codebase changes it).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fl {
+
+/// Round-trip-exact, locale-independent double rendering ("null" for
+/// non-finite values, which JSON cannot represent).
+inline std::string json_number(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+class JsonWriter {
+public:
+    explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+    void begin_object() { open('{'); }
+    void end_object() { close('}'); }
+    void begin_array() { open('['); }
+    void end_array() { close(']'); }
+
+    /// Object-member key; must be followed by exactly one value/container.
+    void key(std::string_view k) {
+        separate();
+        os_ << '"';
+        escape(k);
+        os_ << "\": ";
+        pending_key_ = true;
+    }
+
+    void value(std::string_view s) {
+        separate();
+        os_ << '"';
+        escape(s);
+        os_ << '"';
+    }
+    void value(const char* s) { value(std::string_view(s)); }
+    void value(double v) {
+        separate();
+        os_ << json_number(v);
+    }
+    void value(std::uint64_t v) {
+        separate();
+        os_ << v;
+    }
+    void value(bool v) {
+        separate();
+        os_ << (v ? "true" : "false");
+    }
+
+    /// Splices pre-rendered JSON (e.g. a core::write_metrics_json dump) as
+    /// one value.  The fragment keeps its own indentation.
+    void raw(std::string_view rendered) {
+        separate();
+        os_ << rendered;
+    }
+
+    void field(std::string_view k, std::string_view v) { key(k); value(v); }
+    void field(std::string_view k, const char* v) { key(k); value(v); }
+    void field(std::string_view k, double v) { key(k); value(v); }
+    void field(std::string_view k, std::uint64_t v) { key(k); value(v); }
+    void field(std::string_view k, bool v) { key(k); value(v); }
+
+private:
+    void open(char c) {
+        separate();
+        os_ << c;
+        counts_.push_back(0);
+    }
+    void close(char c) {
+        const bool had_items = counts_.back() > 0;
+        counts_.pop_back();
+        if (had_items) {
+            os_ << '\n';
+            indent();
+        }
+        os_ << c;
+    }
+    /// Emits the comma/newline/indent owed before the next item.  A value
+    /// directly after key() sits on the key's line instead.
+    void separate() {
+        if (pending_key_) {
+            pending_key_ = false;
+            return;
+        }
+        if (counts_.empty()) return;
+        if (counts_.back() > 0) os_ << ',';
+        os_ << '\n';
+        ++counts_.back();
+        indent();
+    }
+    void indent() {
+        for (std::size_t i = 0; i < counts_.size(); ++i) os_ << "  ";
+    }
+    void escape(std::string_view s) {
+        for (const char c : s) {
+            switch (c) {
+            case '"': os_ << "\\\""; break;
+            case '\\': os_ << "\\\\"; break;
+            case '\n': os_ << "\\n"; break;
+            case '\t': os_ << "\\t"; break;
+            case '\r': os_ << "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    os_ << buf;
+                } else {
+                    os_ << c;
+                }
+            }
+        }
+    }
+
+    std::ostream& os_;
+    std::vector<std::size_t> counts_;  // items emitted per open container
+    bool pending_key_ = false;
+};
+
+}  // namespace fl

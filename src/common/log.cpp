@@ -1,11 +1,14 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace fl {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
+// Atomic so parallel sweep workers (common/thread_pool.h) can read the level
+// without a data race; the level is still meant to be set once, up front.
+std::atomic<LogLevel> g_level = LogLevel::kOff;
 
 const char* level_name(LogLevel level) {
     switch (level) {

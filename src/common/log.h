@@ -9,8 +9,8 @@ namespace fl {
 
 enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Process-wide log level.  Not thread-safe by design: the simulator is
-/// single-threaded and tests set the level once up front.
+/// Process-wide log level.  Stored atomically so parallel sweep workers can
+/// read it; still intended to be set once, up front.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 

@@ -97,4 +97,11 @@ Rng Rng::split(std::string_view label) {
     return Rng(next_u64() ^ hash_label(label));
 }
 
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) {
+    // SplitMix64 advances its state by the golden-ratio increment per draw,
+    // so the stream's index-th state is directly addressable.
+    std::uint64_t state = base_seed + index * 0x9E3779B97F4A7C15ull;
+    return splitmix64(state);
+}
+
 }  // namespace fl

@@ -52,4 +52,12 @@ private:
     std::uint64_t state_[4];
 };
 
+/// The `index`-th output of the SplitMix64 stream seeded with `base_seed` —
+/// a well-mixed, collision-free seed for work unit `index` of a sweep.
+/// Random access (no need to step through indices 0..index-1) makes the
+/// derivation independent of the order in which a thread pool schedules the
+/// units: same (base_seed, index) ⇒ same seed, always.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base_seed,
+                                        std::uint64_t index);
+
 }  // namespace fl

@@ -1,0 +1,153 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace fl {
+
+namespace {
+
+/// Which pool (and worker index) the current thread belongs to, so submit()
+/// can route to the local deque instead of the injector.
+thread_local ThreadPool* t_pool = nullptr;
+thread_local std::size_t t_worker = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+    if (threads == 0) {
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    queues_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+        queues_.push_back(std::make_unique<Queue>());
+    }
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+        workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(sleep_mutex_);
+        stopping_ = true;
+    }
+    sleep_cv_.notify_all();
+    for (auto& w : workers_) {
+        w.join();
+    }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    Queue& q = (t_pool == this) ? *queues_[t_worker] : injector_;
+    {
+        std::lock_guard lock(q.mutex);
+        q.tasks.push_back(std::move(task));
+    }
+    pending_.fetch_add(1);
+    // Empty critical section: pairs the notify with the waiters' predicate
+    // check so a submit between check and wait cannot be missed.
+    { std::lock_guard lock(sleep_mutex_); }
+    sleep_cv_.notify_one();
+}
+
+bool ThreadPool::pop_back(Queue& q, std::function<void()>& task) {
+    std::lock_guard lock(q.mutex);
+    if (q.tasks.empty()) return false;
+    task = std::move(q.tasks.back());
+    q.tasks.pop_back();
+    return true;
+}
+
+bool ThreadPool::pop_front(Queue& q, std::function<void()>& task) {
+    std::lock_guard lock(q.mutex);
+    if (q.tasks.empty()) return false;
+    task = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    return true;
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& task) {
+    if (pop_back(*queues_[self], task)) return true;
+    if (pop_front(injector_, task)) return true;
+    // Steal oldest-first from the other workers, starting at the neighbour so
+    // thieves spread over victims instead of all hitting worker 0.
+    for (std::size_t k = 1; k < queues_.size(); ++k) {
+        const std::size_t victim = (self + k) % queues_.size();
+        if (pop_front(*queues_[victim], task)) return true;
+    }
+    return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+    t_pool = this;
+    t_worker = self;
+    std::function<void()> task;
+    for (;;) {
+        if (try_pop(self, task)) {
+            pending_.fetch_sub(1);
+            task();
+            task = nullptr;
+            continue;
+        }
+        std::unique_lock lock(sleep_mutex_);
+        sleep_cv_.wait(lock,
+                       [this] { return stopping_ || pending_.load() > 0; });
+        if (stopping_ && pending_.load() == 0) return;
+    }
+}
+
+void parallel_for_each(ThreadPool& pool, std::size_t count,
+                       const std::function<void(std::size_t)>& body) {
+    if (count == 0) return;
+
+    struct Shared {
+        std::atomic<std::size_t> next{0};
+        std::mutex mutex;
+        std::condition_variable done_cv;
+        std::exception_ptr error;
+        std::size_t helpers_active = 0;
+    };
+    auto shared = std::make_shared<Shared>();
+
+    // Claims indices until the counter runs past `count`.  Captures `shared`
+    // by value and `body` by reference: this function only returns after
+    // every helper finished, so the reference outlives them.
+    const auto run = [shared, &body, count] {
+        for (;;) {
+            const std::size_t i = shared->next.fetch_add(1);
+            if (i >= count) return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard lock(shared->mutex);
+                if (!shared->error) shared->error = std::current_exception();
+                // Poison the index counter so nobody claims further work.
+                shared->next.store(count);
+            }
+        }
+    };
+
+    // The caller works too, so one index needs no helper at all.
+    const std::size_t helpers = std::min(pool.size(), count - 1);
+    {
+        std::lock_guard lock(shared->mutex);
+        shared->helpers_active = helpers;
+    }
+    for (std::size_t h = 0; h < helpers; ++h) {
+        pool.submit([shared, run] {
+            run();
+            std::lock_guard lock(shared->mutex);
+            if (--shared->helpers_active == 0) shared->done_cv.notify_all();
+        });
+    }
+
+    run();
+
+    std::unique_lock lock(shared->mutex);
+    shared->done_cv.wait(lock, [&shared] { return shared->helpers_active == 0; });
+    if (shared->error) std::rethrow_exception(shared->error);
+}
+
+}  // namespace fl

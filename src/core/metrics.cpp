@@ -1,6 +1,27 @@
 #include "core/metrics.h"
 
+#include <ostream>
+
+#include "common/json.h"
+
 namespace fl::core {
+
+namespace {
+
+/// One latency distribution as {count, mean, p50, p95, p99, min, max}.
+void write_histogram(JsonWriter& json, const Histogram& hist) {
+    json.begin_object();
+    json.field("count", hist.count());
+    json.field("mean_s", hist.mean());
+    json.field("p50_s", hist.median());
+    json.field("p95_s", hist.percentile(95.0));
+    json.field("p99_s", hist.percentile(99.0));
+    json.field("min_s", hist.min());
+    json.field("max_s", hist.max());
+    json.end_object();
+}
+
+}  // namespace
 
 void MetricsCollector::record(const client::TxRecord& record) {
     first_submit_ = std::min(first_submit_, record.submitted_at);
@@ -42,6 +63,58 @@ double MetricsCollector::throughput_tps() const {
     if (valid_ == 0 || last_complete_ <= first_submit_) return 0.0;
     return static_cast<double>(valid_) /
            (last_complete_ - first_submit_).as_seconds();
+}
+
+void write_metrics_json(std::ostream& os, const MetricsCollector& metrics) {
+    JsonWriter json(os);
+    json.begin_object();
+    json.field("committed_valid", metrics.committed_valid());
+    json.field("committed_invalid", metrics.committed_invalid());
+    json.field("client_failures", metrics.client_failures());
+    json.field("throughput_tps", metrics.throughput_tps());
+
+    json.key("latency");
+    write_histogram(json, metrics.overall());
+
+    json.key("latency_by_priority");
+    json.begin_object();
+    for (const auto& [level, hist] : metrics.by_priority()) {
+        json.key(level == kUnassignedPriority ? "unassigned"
+                                              : std::to_string(level));
+        write_histogram(json, hist);
+    }
+    json.end_object();
+
+    json.key("latency_by_client");
+    json.begin_object();
+    for (const auto& [client, hist] : metrics.by_client()) {
+        json.key(std::to_string(client.value()));
+        write_histogram(json, hist);
+    }
+    json.end_object();
+
+    json.key("latency_by_chaincode");
+    json.begin_object();
+    for (const auto& [name, hist] : metrics.by_chaincode()) {
+        json.key(name);
+        write_histogram(json, hist);
+    }
+    json.end_object();
+
+    json.key("phase_means_by_priority");
+    json.begin_object();
+    for (const auto& [level, phases] : metrics.phases_by_priority()) {
+        json.key(level == kUnassignedPriority ? "unassigned"
+                                              : std::to_string(level));
+        json.begin_object();
+        json.field("endorsement_s", phases.endorsement.mean());
+        json.field("ordering_s", phases.ordering.mean());
+        json.field("validation_s", phases.validation.mean());
+        json.field("notification_s", phases.notification.mean());
+        json.end_object();
+    }
+    json.end_object();
+    json.end_object();
 }
 
 }  // namespace fl::core

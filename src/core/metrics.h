@@ -3,6 +3,7 @@
 // Hyperledger Caliper reports in the paper's evaluation.
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <string>
 
@@ -73,5 +74,13 @@ private:
     TimePoint first_submit_ = TimePoint::max();
     TimePoint last_complete_;
 };
+
+/// Serializes one collector as a JSON object: counts, throughput, and the
+/// latency distributions (mean and percentiles) overall, per priority level,
+/// per client and per chaincode, plus the per-priority phase breakdown.
+/// Everything emitted derives from simulated time, so the bytes depend only
+/// on the run's seed and configuration — never on wall-clock or scheduling.
+/// Used by the sweep harness's per-point BENCH_*.json output.
+void write_metrics_json(std::ostream& os, const MetricsCollector& metrics);
 
 }  // namespace fl::core

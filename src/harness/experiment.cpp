@@ -1,21 +1,24 @@
 #include "harness/experiment.h"
 
 #include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace fl::harness {
 
-RunResult run_once(core::NetworkConfig config,
-                   const std::function<Workload()>& make_workload,
-                   std::uint64_t seed) {
+RunResult run_once(const ExperimentSpec& spec, std::uint64_t seed) {
+    core::NetworkConfig config = spec.config;
     config.seed = seed;
     core::FabricNetwork net(config);
 
     RunResult result;
-    net.set_tx_sink([&result](const client::TxRecord& r) { result.metrics.record(r); });
+    net.set_tx_sink([&result, &spec, &net](const client::TxRecord& r) {
+        result.metrics.record(r);
+        if (spec.tx_probe) spec.tx_probe(r, net, result.extra);
+    });
 
-    Workload workload = make_workload();
+    Workload workload = spec.make_workload();
     WorkloadDriver driver(net, std::move(workload), Rng(seed ^ 0x574B4C44ull));
     driver.start();
     net.run();
@@ -29,7 +32,17 @@ RunResult run_once(core::NetworkConfig config,
         result.consolidation_failures += osn->consolidation_failures();
     }
     result.level_totals = net.osns().front()->level_totals();
+    if (spec.run_probe) spec.run_probe(net, result.extra);
     return result;
+}
+
+RunResult run_once(core::NetworkConfig config,
+                   const std::function<Workload()>& make_workload,
+                   std::uint64_t seed) {
+    ExperimentSpec spec;
+    spec.config = std::move(config);
+    spec.make_workload = make_workload;
+    return run_once(spec, seed);
 }
 
 AggregateResult run_experiment(const ExperimentSpec& spec) {
@@ -41,24 +54,51 @@ AggregateResult run_experiment(const ExperimentSpec& spec) {
     }
     AggregateResult agg;
     for (unsigned run = 0; run < spec.runs; ++run) {
-        const RunResult r =
-            run_once(spec.config, spec.make_workload, spec.base_seed + run);
+        const RunResult r = run_once(spec, spec.base_seed + run);
 
         agg.overall_latency.add_run(r.metrics.avg_latency());
         agg.throughput_tps.add_run(r.metrics.throughput_tps());
+        agg.blocks_per_run.add_run(static_cast<double>(r.blocks));
         for (const auto& [level, hist] : r.metrics.by_priority()) {
             agg.latency_by_priority[level].add_run(hist.mean());
         }
         for (const auto& [cid, hist] : r.metrics.by_client()) {
             agg.latency_by_client[cid.value()].add_run(hist.mean());
         }
+        for (const auto& [level, phases] : r.metrics.phases_by_priority()) {
+            PhaseAggregate& pa = agg.phases_by_priority[level];
+            pa.endorsement.add_run(phases.endorsement.mean());
+            pa.ordering.add_run(phases.ordering.mean());
+            pa.validation.add_run(phases.validation.mean());
+            pa.notification.add_run(phases.notification.mean());
+        }
+        for (const auto& [key, value] : r.extra) {
+            agg.extra[key].add_run(value);
+        }
         agg.total_committed += r.metrics.committed_valid();
         agg.total_invalid += r.metrics.committed_invalid();
         agg.total_client_failures += r.metrics.client_failures();
+        agg.total_consolidation_failures += r.consolidation_failures;
         agg.all_consistent = agg.all_consistent && r.chains_identical &&
                              r.states_identical && r.osn_blocks_identical;
+        if (spec.keep_run_metrics) {
+            std::ostringstream os;
+            core::write_metrics_json(os, r.metrics);
+            agg.run_metrics_json.push_back(os.str());
+        }
     }
     return agg;
+}
+
+double AggregateResult::extra_mean(const std::string& key) const {
+    const auto it = extra.find(key);
+    return it == extra.end() ? 0.0 : it->second.mean();
+}
+
+double AggregateResult::extra_total(const std::string& key) const {
+    const auto it = extra.find(key);
+    if (it == extra.end()) return 0.0;
+    return it->second.mean() * static_cast<double>(it->second.runs());
 }
 
 namespace {

@@ -2,10 +2,16 @@
 // workload to completion, collects metrics, and aggregates across runs —
 // the paper's "each experiment 10 times, 15000 transactions per run, report
 // the average".
+//
+// Each run owns its Simulator, FabricNetwork and MetricsCollector and shares
+// no state with other runs, which is what lets `harness::run_sweep`
+// (harness/sweep.h) execute independent experiment points on a thread pool
+// without changing any result.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <string>
 
 #include "core/fabric_network.h"
 #include "core/metrics.h"
@@ -19,6 +25,20 @@ struct ExperimentSpec {
     std::function<Workload()> make_workload;
     unsigned runs = 5;
     std::uint64_t base_seed = 1000;
+
+    /// Optional per-completed-transaction probe, called from the tx sink with
+    /// the drained network available; accumulate custom counters into `extra`
+    /// (they aggregate across runs into AggregateResult::extra).
+    std::function<void(const client::TxRecord&, core::FabricNetwork&,
+                       std::map<std::string, double>&)>
+        tx_probe;
+    /// Optional post-run probe over the drained network (chain shape, OSN
+    /// counters, ...); accumulates into the same `extra` map.
+    std::function<void(core::FabricNetwork&, std::map<std::string, double>&)>
+        run_probe;
+    /// When true, run_experiment keeps a per-run JSON metrics dump (see
+    /// core::write_metrics_json) in AggregateResult::run_metrics_json.
+    bool keep_run_metrics = false;
 };
 
 /// Results of a single run.
@@ -31,6 +51,15 @@ struct RunResult {
     std::uint64_t txs_invalid = 0;
     std::uint64_t consolidation_failures = 0;
     std::vector<std::uint64_t> level_totals;  ///< per-level txs ordered (OSN 0)
+    std::map<std::string, double> extra;      ///< probe-filled counters
+};
+
+/// Per-run means of the pipeline-phase latencies, aggregated across runs.
+struct PhaseAggregate {
+    RunAggregator endorsement;
+    RunAggregator ordering;
+    RunAggregator validation;
+    RunAggregator notification;
 };
 
 /// Aggregates across runs.
@@ -38,11 +67,18 @@ struct AggregateResult {
     RunAggregator overall_latency;                           ///< seconds
     std::map<PriorityLevel, RunAggregator> latency_by_priority;
     std::map<std::uint64_t, RunAggregator> latency_by_client;  ///< key: client id
+    std::map<PriorityLevel, PhaseAggregate> phases_by_priority;
     RunAggregator throughput_tps;
+    RunAggregator blocks_per_run;
     std::uint64_t total_committed = 0;
     std::uint64_t total_invalid = 0;
     std::uint64_t total_client_failures = 0;
+    std::uint64_t total_consolidation_failures = 0;
     bool all_consistent = true;
+    /// Per-run means of the probe counters in RunResult::extra.
+    std::map<std::string, RunAggregator> extra;
+    /// Per-run metrics dumps (only when ExperimentSpec::keep_run_metrics).
+    std::vector<std::string> run_metrics_json;
 
     [[nodiscard]] double priority_latency(PriorityLevel level) const {
         const auto it = latency_by_priority.find(level);
@@ -52,9 +88,16 @@ struct AggregateResult {
         const auto it = latency_by_client.find(client);
         return it == latency_by_client.end() ? 0.0 : it->second.mean();
     }
+    /// Mean of a probe counter across runs (0 when the key never appeared).
+    [[nodiscard]] double extra_mean(const std::string& key) const;
+    /// Sum of a probe counter across runs.
+    [[nodiscard]] double extra_total(const std::string& key) const;
 };
 
 /// Executes one run with the given seed.
+[[nodiscard]] RunResult run_once(const ExperimentSpec& spec, std::uint64_t seed);
+
+/// Backward-compatible overload without probes.
 [[nodiscard]] RunResult run_once(core::NetworkConfig config,
                                  const std::function<Workload()>& make_workload,
                                  std::uint64_t seed);

@@ -46,6 +46,13 @@ std::string fmt(double v, int decimals) {
     return format_fixed(v, decimals);
 }
 
+void print_sweep_footer(std::ostream& os, std::size_t points,
+                        unsigned threads, double wall_seconds) {
+    os << "[" << points << " sweep points on " << threads << " thread"
+       << (threads == 1 ? "" : "s") << ", " << fmt(wall_seconds, 1)
+       << " s wall-clock]\n";
+}
+
 void print_banner(std::ostream& os, const std::string& title,
                   const std::string& subtitle) {
     os << "\n=== " << title << " ===\n";

@@ -2,6 +2,7 @@
 // paper plots so outputs can be compared against the figures at a glance.
 #pragma once
 
+#include <cstddef>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -28,5 +29,10 @@ private:
 /// Banner printed above each experiment's output.
 void print_banner(std::ostream& os, const std::string& title,
                   const std::string& subtitle);
+
+/// One-line sweep summary: points, worker threads, wall-clock.  Goes to
+/// stdout only — wall-clock must never leak into the deterministic JSON.
+void print_sweep_footer(std::ostream& os, std::size_t points,
+                        unsigned threads, double wall_seconds);
 
 }  // namespace fl::harness

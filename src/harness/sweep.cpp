@@ -1,0 +1,246 @@
+#include "harness/sweep.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace fl::harness {
+
+std::uint64_t point_seed(std::uint64_t base_seed, std::uint64_t group) {
+    return derive_seed(base_seed, group);
+}
+
+std::vector<PointResult> run_sweep(const SweepSpec& spec) {
+    for (const auto& point : spec.points) {
+        if (!point.spec.make_workload) {
+            throw std::invalid_argument("run_sweep: point '" + point.label +
+                                        "' has no workload factory");
+        }
+    }
+    std::vector<PointResult> results(spec.points.size());
+    ThreadPool pool(spec.threads);
+    parallel_for_each(pool, spec.points.size(), [&](std::size_t i) {
+        const ExperimentPoint& point = spec.points[i];
+        ExperimentSpec run_spec = point.spec;
+        const std::uint64_t group =
+            point.seed_group ? *point.seed_group : static_cast<std::uint64_t>(i);
+        run_spec.base_seed = point_seed(spec.base_seed, group);
+
+        PointResult& out = results[i];  // pre-sized slot: order == point order
+        out.index = i;
+        out.label = point.label;
+        out.params = point.params;
+        out.seed = run_spec.base_seed;
+        out.result = run_experiment(run_spec);
+    });
+    return results;
+}
+
+namespace {
+
+void write_aggregator(JsonWriter& json, const RunAggregator& agg) {
+    json.begin_object();
+    json.field("mean", agg.mean());
+    json.field("ci95", agg.ci95_half_width());
+    json.field("runs", agg.runs());
+    json.end_object();
+}
+
+void write_point(JsonWriter& json, const PointResult& point) {
+    json.begin_object();
+    json.field("index", static_cast<std::uint64_t>(point.index));
+    json.field("label", point.label);
+    json.key("params");
+    json.begin_object();
+    for (const auto& [name, value] : point.params) {
+        json.field(name, value);
+    }
+    json.end_object();
+    json.field("seed", point.seed);
+
+    const AggregateResult& r = point.result;
+    json.key("avg_latency_s");
+    write_aggregator(json, r.overall_latency);
+    json.key("throughput_tps");
+    write_aggregator(json, r.throughput_tps);
+    json.key("blocks_per_run");
+    write_aggregator(json, r.blocks_per_run);
+
+    json.key("latency_by_priority_s");
+    json.begin_object();
+    for (const auto& [level, agg] : r.latency_by_priority) {
+        json.key(level == kUnassignedPriority ? "unassigned"
+                                              : std::to_string(level));
+        write_aggregator(json, agg);
+    }
+    json.end_object();
+
+    json.key("latency_by_client_s");
+    json.begin_object();
+    for (const auto& [client, agg] : r.latency_by_client) {
+        json.key(std::to_string(client));
+        write_aggregator(json, agg);
+    }
+    json.end_object();
+
+    json.key("phase_means_by_priority_s");
+    json.begin_object();
+    for (const auto& [level, phases] : r.phases_by_priority) {
+        json.key(level == kUnassignedPriority ? "unassigned"
+                                              : std::to_string(level));
+        json.begin_object();
+        json.field("endorsement", phases.endorsement.mean());
+        json.field("ordering", phases.ordering.mean());
+        json.field("validation", phases.validation.mean());
+        json.field("notification", phases.notification.mean());
+        json.end_object();
+    }
+    json.end_object();
+
+    json.field("total_committed", r.total_committed);
+    json.field("total_invalid", r.total_invalid);
+    json.field("total_client_failures", r.total_client_failures);
+    json.field("total_consolidation_failures", r.total_consolidation_failures);
+    json.field("all_consistent", r.all_consistent);
+
+    if (!r.extra.empty()) {
+        json.key("extra");
+        json.begin_object();
+        for (const auto& [name, agg] : r.extra) {
+            json.key(name);
+            write_aggregator(json, agg);
+        }
+        json.end_object();
+    }
+    if (!r.run_metrics_json.empty()) {
+        // Pre-rendered by core::write_metrics_json; splice verbatim so the
+        // per-run dump matches what a single run would emit.
+        json.key("runs_detail");
+        json.begin_array();
+        for (const auto& dump : r.run_metrics_json) {
+            json.raw(dump);
+        }
+        json.end_array();
+    }
+    json.end_object();
+}
+
+}  // namespace
+
+void write_sweep_json(std::ostream& os, const SweepSpec& spec,
+                      const std::vector<PointResult>& results) {
+    JsonWriter json(os);
+    json.begin_object();
+    json.field("bench", spec.name);
+    json.field("base_seed", spec.base_seed);
+    json.field("points", static_cast<std::uint64_t>(results.size()));
+    json.key("results");
+    json.begin_array();
+    for (const auto& point : results) {
+        write_point(json, point);
+    }
+    json.end_array();
+    json.end_object();
+    os << "\n";
+}
+
+namespace {
+
+[[noreturn]] void usage(const std::string& bench_name, int exit_code) {
+    std::ostream& os = exit_code == 0 ? std::cout : std::cerr;
+    os << "usage: " << bench_name << " [options]\n"
+       << "  --threads N   worker threads for the sweep "
+          "(default: hardware concurrency)\n"
+       << "  --seed S      base seed; every point's seed derives from it "
+          "(deterministic)\n"
+       << "  --runs R      repetitions per point (default: FAIRLEDGER_RUNS "
+          "or the bench default)\n"
+       << "  --txs T       transactions per run (default: "
+          "FAIRLEDGER_TOTAL_TXS or the bench default)\n"
+       << "  --json PATH   per-point JSON output path "
+          "(default: BENCH_local_" << bench_name << ".json)\n"
+       << "  --no-json     disable the JSON output\n"
+       << "  --help        this text\n";
+    std::exit(exit_code);
+}
+
+std::uint64_t parse_u64(const std::string& flag, const char* raw,
+                        const std::string& bench_name) {
+    if (raw == nullptr || *raw == '\0') {
+        std::cerr << flag << ": missing value\n";
+        usage(bench_name, 2);
+    }
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(raw, &end, 10);
+    if (end == raw || *end != '\0') {
+        std::cerr << flag << ": not a number: " << raw << "\n";
+        usage(bench_name, 2);
+    }
+    return v;
+}
+
+}  // namespace
+
+SweepCli parse_sweep_cli(int argc, char** argv, std::uint64_t default_seed,
+                         const std::string& bench_name) {
+    SweepCli cli;
+    cli.base_seed = default_seed;
+    cli.json_path = "BENCH_local_" + bench_name + ".json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(bench_name, 0);
+        } else if (arg == "--threads") {
+            cli.threads = static_cast<unsigned>(parse_u64(arg, next(), bench_name));
+        } else if (arg == "--seed") {
+            cli.base_seed = parse_u64(arg, next(), bench_name);
+        } else if (arg == "--runs") {
+            cli.runs = static_cast<unsigned>(parse_u64(arg, next(), bench_name));
+            if (*cli.runs == 0) {
+                std::cerr << "--runs: must be >= 1\n";
+                usage(bench_name, 2);
+            }
+        } else if (arg == "--txs") {
+            cli.total_txs = parse_u64(arg, next(), bench_name);
+        } else if (arg == "--json") {
+            const char* path = next();
+            if (path == nullptr) {
+                std::cerr << "--json: missing path\n";
+                usage(bench_name, 2);
+            }
+            cli.json_path = path;
+        } else if (arg == "--no-json") {
+            cli.json_enabled = false;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage(bench_name, 2);
+        }
+    }
+    return cli;
+}
+
+bool emit_sweep_json(const SweepCli& cli, const SweepSpec& spec,
+                     const std::vector<PointResult>& results,
+                     std::ostream& status) {
+    if (!cli.json_enabled) return false;
+    std::ofstream file(cli.json_path);
+    if (!file) {
+        status << "WARNING: cannot open JSON output path " << cli.json_path
+               << "\n";
+        return false;
+    }
+    write_sweep_json(file, spec, results);
+    status << "per-point JSON written to " << cli.json_path << "\n";
+    return true;
+}
+
+}  // namespace fl::harness

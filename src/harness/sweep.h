@@ -1,0 +1,110 @@
+// Parallel experiment sweeps with deterministic seeding.
+//
+// The paper's evaluation is a grid of *independent* simulation runs — block
+// policies × peer counts × send rates × fairness weights.  A sweep names
+// each grid point (an ExperimentPoint wrapping an ExperimentSpec), and
+// run_sweep fans the points across a common/thread_pool.h work-stealing pool.
+//
+// Determinism contract (regression-tested in tests/harness/sweep_test.cpp):
+// the same SweepSpec with the same base_seed produces bit-identical results
+// — including the serialized BENCH_*.json — at any --threads value, because
+//   1. every point's seed is derived from (base_seed, seed_group) via the
+//      SplitMix64 random-access derivation in common/rng.h, independent of
+//      which worker runs it or when;
+//   2. each point owns its Simulator, FabricNetwork and MetricsCollector and
+//      writes only its own pre-sized results slot, so output order is the
+//      point order, never the completion order;
+//   3. nothing in a point reads wall-clock time — all latencies are
+//      simulated time.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace fl::harness {
+
+/// One grid point of a sweep.
+struct ExperimentPoint {
+    /// Row label for tables and JSON (e.g. "rate=500/priority").
+    std::string label;
+    /// Named sweep coordinates, emitted into JSON (e.g. {"send_rate", 500}).
+    std::vector<std::pair<std::string, double>> params;
+    ExperimentSpec spec;  ///< spec.base_seed is overwritten by the derived seed
+    /// Points sharing a seed_group receive the same derived seed — used to
+    /// pair a treatment run with the baseline it is normalized against so
+    /// both see identical arrival processes.  Default: the point's index.
+    std::optional<std::uint64_t> seed_group;
+};
+
+struct SweepSpec {
+    std::string name;  ///< bench name, e.g. "fig5_send_rate" (JSON header)
+    std::vector<ExperimentPoint> points;
+    std::uint64_t base_seed = 1000;
+    /// Worker threads; 0 = std::thread::hardware_concurrency().
+    unsigned threads = 0;
+};
+
+struct PointResult {
+    std::size_t index = 0;
+    std::string label;
+    std::vector<std::pair<std::string, double>> params;
+    std::uint64_t seed = 0;  ///< derived seed the point actually ran with
+    AggregateResult result;
+};
+
+/// Seed for a point: the `group`-th output of the SplitMix64 stream seeded
+/// with `base_seed` (see fl::derive_seed).
+[[nodiscard]] std::uint64_t point_seed(std::uint64_t base_seed,
+                                       std::uint64_t group);
+
+/// Runs every point on a thread pool and returns results ordered like
+/// spec.points.  Throws std::invalid_argument on an ill-formed spec; a
+/// point's exception (if any) propagates after in-flight points finish.
+[[nodiscard]] std::vector<PointResult> run_sweep(const SweepSpec& spec);
+
+/// Writes the whole sweep as JSON: header (name, base_seed, point count)
+/// plus one entry per point with its params, derived seed, aggregate
+/// metrics, probe counters and (when kept) per-run metrics dumps.  Bytes
+/// depend only on (spec, results), never on --threads or wall-clock.
+void write_sweep_json(std::ostream& os, const SweepSpec& spec,
+                      const std::vector<PointResult>& results);
+
+// ---------------------------------------------------------------------------
+// Command-line front-end shared by the bench drivers.
+
+struct SweepCli {
+    unsigned threads = 0;            ///< --threads N (0 = hardware_concurrency)
+    std::uint64_t base_seed = 0;     ///< --seed S
+    std::string json_path;           ///< --json PATH
+    bool json_enabled = true;        ///< --no-json clears it
+    std::optional<unsigned> runs;          ///< --runs R (overrides env)
+    std::optional<std::uint64_t> total_txs;  ///< --txs T (overrides env)
+
+    [[nodiscard]] unsigned runs_or(unsigned default_runs) const {
+        return runs ? *runs : runs_from_env(default_runs);
+    }
+    [[nodiscard]] std::uint64_t txs_or(std::uint64_t default_total) const {
+        return total_txs ? *total_txs : total_txs_from_env(default_total);
+    }
+};
+
+/// Parses --threads/--seed/--json/--no-json/--runs/--txs (--help prints
+/// usage and exits).  `bench_name` sets the default JSON path
+/// (BENCH_local_<name>.json) and `default_seed` the default --seed.
+[[nodiscard]] SweepCli parse_sweep_cli(int argc, char** argv,
+                                       std::uint64_t default_seed,
+                                       const std::string& bench_name);
+
+/// Writes the sweep JSON to cli.json_path unless --no-json; announces the
+/// path on `status` (stdout in the benches).  Returns true when written.
+bool emit_sweep_json(const SweepCli& cli, const SweepSpec& spec,
+                     const std::vector<PointResult>& results,
+                     std::ostream& status);
+
+}  // namespace fl::harness

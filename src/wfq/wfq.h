@@ -1,18 +1,41 @@
-// Weighted fair queueing schedulers.
+// Weighted fair queueing schedulers — the theory behind the paper's
+// Algorithm 1 (weighted-fair block formation) and Algorithm 2 (READ_QUEUE
+// with time-to-cut coordination).
 //
 // The paper adopts "a weighted fair queueing strategy [Demers et al. '89]"
 // at block granularity.  This module provides the packet-granularity
-// reference disciplines so tests and the ablation bench can quantify how
-// closely the Multi-Queue Block Generator tracks ideal weighted shares:
+// reference disciplines so tests and bench/ablation_wfq can quantify how
+// closely the Multi-Queue Block Generator (orderer/block_generator.h, the
+// production implementation of Algorithms 1+2) tracks ideal weighted shares:
 //
 //   * WfqScheduler  — start-time fair queueing (SFQ): virtual-time tagged,
-//     the standard practical approximation of bit-by-bit round robin;
-//   * WrrScheduler  — weighted round robin (quantum-based), which is what
-//     per-block quotas amount to within one block;
-//   * FifoScheduler — the vanilla Fabric baseline discipline.
+//     the standard practical approximation of bit-by-bit round robin.  The
+//     ideal the paper's scheme approximates; commentary on each member maps
+//     it to the corresponding Algorithm 1 concept.
+//   * WrrScheduler  — weighted round robin with deficit counters (DRR),
+//     which is exactly what Algorithm 1's per-block quotas TR[i] amount to:
+//     one block = one round, one quota = one quantum.
+//   * FifoScheduler — the vanilla Fabric baseline discipline (single Kafka
+//     topic, no isolation) every figure normalizes against.
 //
-// All are templates over an opaque item type and are single-threaded (the
-// simulator serializes access).
+// How the paper's two algorithms project onto these disciplines:
+//
+//   Algorithm 1 (CreateBlock) — for block BN, read each priority queue i up
+//   to its reserved quota TR[i] (lines 4-9: the WRR round); if level i hit
+//   its time-to-cut marker with quota to spare, transfer the surplus to the
+//   highest level still being read (lines 17-23: a deficit hand-off DRR does
+//   not have — it keeps *blocks* full when one class idles); cut when every
+//   level met its quota or its TTC (the round barrier).
+//
+//   Algorithm 2 (READ_QUEUE) — the per-queue read loop: stop at quota
+//   exhaustion, queue dry, or the first TTC_BN marker; consume-and-ignore
+//   duplicate TTCs.  Because the TTC markers sit at fixed offsets in the
+//   totally-ordered topics, every OSN executes the identical round and cuts
+//   the identical block even with unsynchronized local timers.
+//
+// All schedulers here are templates over an opaque item type and are
+// single-threaded (the simulator serializes access; parallel sweeps give
+// each experiment point its own scheduler instances — see harness/sweep.h).
 #pragma once
 
 #include <algorithm>
@@ -38,6 +61,13 @@ struct Scheduled {
 /// to it.  Guarantees the SFQ fairness bound:
 ///   |W_i(t)/w_i - W_j(t)/w_j| <= cost_max/w_i + cost_max/w_j
 /// for continuously backlogged flows i, j.
+///
+/// Relation to the paper: this is the ideal the Multi-Queue Block Generator
+/// trades away for block granularity.  SFQ interleaves flows *within* what
+/// would be one block (gap bounded by one packet per unit weight); Algorithm
+/// 1 serves each level's whole quota contiguously, so within a block the gap
+/// can reach a full quota TR[i] — but over whole blocks the shares converge
+/// to the same weights (bench/ablation_wfq measures both effects).
 template <typename T>
 class WfqScheduler {
 public:
@@ -54,7 +84,13 @@ public:
 
     void enqueue(std::size_t flow, double cost, T item) {
         Flow& f = flow_ref(flow);
+        // Start tag: an idle flow re-joins at the current virtual time (no
+        // credit for idling — same reason Algorithm 1 gives an empty level
+        // no carry-over: its unused quota moves to another level instead).
         const double start = std::max(virtual_time_, f.last_finish);
+        // Finish tag: weight scales the virtual service time, so a weight-3
+        // flow's tags advance 3x slower than a weight-1 flow's — the
+        // packet-granular analogue of TR[i] being 3/5 vs 1/5 of the block.
         const double finish = start + cost / f.weight;
         f.last_finish = finish;
         f.queue.push_back(Packet{start, finish, cost, std::move(item)});
@@ -69,7 +105,10 @@ public:
     }
 
     /// Dequeues the packet with the smallest start tag (ties to the lowest
-    /// flow index, i.e. the highest priority class).
+    /// flow index, i.e. the highest priority class).  This per-packet
+    /// selection is what Algorithm 1 batches: one CreateBlock round emits
+    /// the same multiset of transactions SFQ would emit over the next BS
+    /// dequeues (when all levels stay backlogged), just grouped by level.
     std::optional<Scheduled<T>> dequeue() {
         if (size_ == 0) return std::nullopt;
         std::size_t best = flows_.size();
@@ -126,9 +165,16 @@ private:
     std::size_t size_ = 0;
 };
 
-/// Weighted round robin with per-flow quantum = weight * base_quantum.
-/// This is the discipline the Multi-Queue Block Generator implements at
-/// block granularity (quota = quantum, block = round).
+/// Weighted round robin with per-flow quantum = weight * base_quantum and
+/// DRR deficit counters.  This is the discipline the Multi-Queue Block
+/// Generator implements at block granularity: quota TR[i] = quantum, block
+/// = round, and Algorithm 2's READ_QUEUE loop ("read level i until quota
+/// met or queue dry") is one visit of the round-robin scan below.  What the
+/// production generator adds on top of plain WRR/DRR is Algorithm 1 lines
+/// 17-23 (TTC-triggered surplus transfer between levels inside a round) and
+/// Algorithm 2's TTC cut markers for cross-OSN determinism — neither exists
+/// here because a packet scheduler has no notion of "this round must end
+/// now on every replica".
 template <typename T>
 class WrrScheduler {
 public:
@@ -159,6 +205,9 @@ public:
         if (size_ == 0) return std::nullopt;
         for (std::size_t scanned = 0; scanned < 2 * flows_.size(); ++scanned) {
             Flow& f = flows_[current_];
+            // Serve the current flow while its deficit covers the head item
+            // — Algorithm 2's "txCount < TR[i]" check, with the deficit
+            // playing the role of the block quota's remaining slots.
             if (!f.queue.empty() && f.deficit >= f.queue.front().cost) {
                 Item it = std::move(f.queue.front());
                 f.queue.pop_front();
@@ -211,7 +260,10 @@ private:
     std::size_t size_ = 0;
 };
 
-/// Single FIFO queue — the vanilla Fabric ordering discipline.
+/// Single FIFO queue — the vanilla Fabric ordering discipline (one Kafka
+/// topic per channel, blocks cut purely by size/timeout).  Offers no
+/// isolation: each class's service share equals its *arrival* share, which
+/// is why a flooding client degrades everyone (paper Figure 6, §5.5).
 template <typename T>
 class FifoScheduler {
 public:

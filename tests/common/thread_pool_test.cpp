@@ -1,0 +1,120 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace fl {
+namespace {
+
+TEST(ThreadPoolTest, DefaultSizeIsAtLeastOne) {
+    ThreadPool pool;
+    EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, ExplicitSize) {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllRunBeforeDestruction) {
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(4);
+        for (int i = 0; i < 200; ++i) {
+            pool.submit([&counter] { counter.fetch_add(1); });
+        }
+    }  // destructor drains the queues
+    EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, TasksSubmittedFromWorkersRun) {
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i) {
+            // Worker-submitted tasks go to the worker's own deque.
+            pool.submit([&pool, &counter] {
+                pool.submit([&counter] { counter.fetch_add(1); });
+            });
+        }
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForEachTest, VisitsEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> visits(n);
+    parallel_for_each(pool, n, [&visits](std::size_t i) {
+        visits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ParallelForEachTest, ZeroTasksReturnsImmediately) {
+    ThreadPool pool(2);
+    bool ran = false;
+    parallel_for_each(pool, 0, [&ran](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForEachTest, SingleTaskRunsOnCaller) {
+    ThreadPool pool(2);
+    int value = 0;
+    parallel_for_each(pool, 1, [&value](std::size_t i) {
+        value = static_cast<int>(i) + 41;
+    });
+    EXPECT_EQ(value, 41);
+}
+
+TEST(ParallelForEachTest, ResultsLandInPreSizedSlots) {
+    ThreadPool pool(4);
+    const std::size_t n = 257;
+    std::vector<std::size_t> out(n, 0);
+    parallel_for_each(pool, n, [&out](std::size_t i) { out[i] = i * i; });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelForEachTest, PropagatesFirstException) {
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        parallel_for_each(pool, 100,
+                          [](std::size_t i) {
+                              if (i == 13) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+}
+
+TEST(ParallelForEachTest, PoolUsableAfterException) {
+    ThreadPool pool(4);
+    try {
+        parallel_for_each(pool, 50, [](std::size_t) {
+            throw std::runtime_error("boom");
+        });
+        FAIL() << "expected throw";
+    } catch (const std::runtime_error&) {
+    }
+    std::atomic<int> counter{0};
+    parallel_for_each(pool, 64,
+                      [&counter](std::size_t) { counter.fetch_add(1); });
+    EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ParallelForEachTest, ManyMoreTasksThanThreads) {
+    ThreadPool pool(2);
+    const std::size_t n = 5000;
+    std::atomic<std::uint64_t> sum{0};
+    parallel_for_each(pool, n, [&sum](std::size_t i) {
+        sum.fetch_add(i);
+    });
+    EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,193 @@
+// Parallel sweep harness: deterministic seed derivation, scheduling-independent
+// results, CLI parsing and JSON emission.
+//
+// The centerpiece is SweepDeterminismTest.JsonIdenticalAcrossThreadCounts: a
+// miniature fig5-style sweep (paired baseline/priority points across send
+// rates) executed at --threads 1 and --threads 4 must serialize to the
+// byte-identical JSON document.  This is the regression test for the
+// determinism contract documented in harness/sweep.h.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/rng.h"
+#include "harness/report.h"
+#include "harness/sweep.h"
+
+namespace fl::harness {
+namespace {
+
+core::NetworkConfig tiny_config(bool priority_enabled) {
+    core::NetworkConfig cfg;
+    cfg.orgs = 2;
+    cfg.osns = 1;
+    cfg.clients = 2;
+    cfg.channel.priority_enabled = priority_enabled;
+    cfg.channel.block_size = 10;
+    cfg.channel.block_timeout = Duration::millis(100);
+    cfg.endorsement_k = 2;
+    return cfg;
+}
+
+ExperimentPoint tiny_point(bool priority_enabled, double tps,
+                           std::uint64_t seed_group) {
+    ExperimentPoint point;
+    point.label = fmt(tps, 0) + (priority_enabled ? "/priority" : "/baseline");
+    point.params = {{"tps", tps},
+                    {"priority_enabled", priority_enabled ? 1.0 : 0.0}};
+    point.spec.config = tiny_config(priority_enabled);
+    point.spec.make_workload = [tps] {
+        Workload w;
+        LoadSpec load;
+        load.client_index = 0;
+        load.tps = tps;
+        load.total_txs = 60;
+        load.generate = priority_class_mix({1, 2, 1});
+        w.loads.push_back(std::move(load));
+        return w;
+    };
+    point.spec.runs = 2;
+    point.seed_group = seed_group;
+    return point;
+}
+
+SweepSpec tiny_sweep(unsigned threads) {
+    // Miniature fig5: paired baseline/priority points over three send rates,
+    // each pair sharing a derived seed through its seed_group.
+    SweepSpec sweep;
+    sweep.name = "tiny_fig5";
+    sweep.base_seed = 4242;
+    sweep.threads = threads;
+    std::uint64_t group = 0;
+    for (const double tps : {100.0, 200.0, 300.0}) {
+        sweep.points.push_back(tiny_point(false, tps, group));
+        sweep.points.push_back(tiny_point(true, tps, group));
+        ++group;
+    }
+    return sweep;
+}
+
+TEST(PointSeedTest, MatchesSplitmixStream) {
+    // point_seed(base, i) must be the i-th output of the SplitMix64 sequence
+    // seeded at base — the same stream Rng uses — accessed randomly.
+    EXPECT_EQ(point_seed(77, 0), derive_seed(77, 0));
+    EXPECT_EQ(point_seed(77, 3), derive_seed(77, 3));
+    EXPECT_NE(point_seed(77, 0), point_seed(77, 1));
+    EXPECT_NE(point_seed(77, 0), point_seed(78, 0));
+    // Random access: value independent of evaluation order.
+    const auto late = point_seed(9000, 11);
+    const auto early = point_seed(9000, 2);
+    EXPECT_EQ(point_seed(9000, 11), late);
+    EXPECT_EQ(point_seed(9000, 2), early);
+}
+
+TEST(PointSeedTest, DistinctAcrossManyIndices) {
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(point_seed(1000, i));
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(SweepTest, ResultsIndexedInPointOrder) {
+    const auto sweep = tiny_sweep(2);
+    const auto results = run_sweep(sweep);
+    ASSERT_EQ(results.size(), sweep.points.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].index, i);
+        EXPECT_EQ(results[i].label, sweep.points[i].label);
+        EXPECT_GT(results[i].result.total_committed, 0u);
+    }
+}
+
+TEST(SweepTest, SeedGroupsPairPoints) {
+    const auto sweep = tiny_sweep(1);
+    const auto results = run_sweep(sweep);
+    // Paired points share the derived seed; distinct groups differ.
+    EXPECT_EQ(results[0].seed, results[1].seed);
+    EXPECT_EQ(results[2].seed, results[3].seed);
+    EXPECT_NE(results[0].seed, results[2].seed);
+    EXPECT_EQ(results[0].seed, point_seed(sweep.base_seed, 0));
+    EXPECT_EQ(results[2].seed, point_seed(sweep.base_seed, 1));
+}
+
+TEST(SweepDeterminismTest, JsonIdenticalAcrossThreadCounts) {
+    const auto render = [](unsigned threads) {
+        const auto sweep = tiny_sweep(threads);
+        const auto results = run_sweep(sweep);
+        std::ostringstream os;
+        write_sweep_json(os, sweep, results);
+        return os.str();
+    };
+    const std::string serial = render(1);
+    const std::string parallel = render(4);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(SweepTest, ProbesAggregateIntoExtra) {
+    auto sweep = tiny_sweep(2);
+    for (auto& point : sweep.points) {
+        point.spec.tx_probe = [](const client::TxRecord& r, core::FabricNetwork&,
+                                 std::map<std::string, double>& extra) {
+            if (!r.failed_before_ordering && is_valid(r.code)) {
+                extra["committed_seen"] += 1.0;
+            }
+        };
+        point.spec.run_probe = [](core::FabricNetwork& net,
+                                  std::map<std::string, double>& extra) {
+            extra["height"] +=
+                static_cast<double>(net.peers().front()->chain().height());
+        };
+    }
+    const auto results = run_sweep(sweep);
+    for (const auto& r : results) {
+        // tx_probe fires once per committed transaction in every run.
+        EXPECT_NEAR(r.result.extra_total("committed_seen"),
+                    static_cast<double>(r.result.total_committed), 0.5);
+        EXPECT_GT(r.result.extra_mean("height"), 0.0);
+    }
+}
+
+TEST(SweepTest, ValidatesPoints) {
+    SweepSpec sweep;
+    sweep.name = "invalid";
+    ExperimentPoint point;
+    point.spec.config = tiny_config(true);
+    // no make_workload
+    sweep.points.push_back(std::move(point));
+    EXPECT_THROW((void)run_sweep(sweep), std::invalid_argument);
+}
+
+TEST(SweepCliTest, Defaults) {
+    const char* argv[] = {"bench"};
+    const auto cli = parse_sweep_cli(1, const_cast<char**>(argv), 9200, "fig5");
+    EXPECT_EQ(cli.threads, 0u);  // 0 = hardware concurrency
+    EXPECT_EQ(cli.base_seed, 9200u);
+    EXPECT_TRUE(cli.json_enabled);
+    EXPECT_EQ(cli.json_path, "BENCH_local_fig5.json");
+    EXPECT_FALSE(cli.runs.has_value());
+    EXPECT_EQ(cli.runs_or(3), 3u);
+    EXPECT_EQ(cli.txs_or(1000), 1000u);
+}
+
+TEST(SweepCliTest, ParsesFlags) {
+    const char* argv[] = {"bench", "--threads", "8",    "--seed", "42",
+                          "--runs", "5",        "--txs", "2500",  "--json",
+                          "out.json"};
+    const auto cli = parse_sweep_cli(11, const_cast<char**>(argv), 9200, "fig5");
+    EXPECT_EQ(cli.threads, 8u);
+    EXPECT_EQ(cli.base_seed, 42u);
+    EXPECT_EQ(cli.runs_or(3), 5u);
+    EXPECT_EQ(cli.txs_or(1000), 2500u);
+    EXPECT_EQ(cli.json_path, "out.json");
+    EXPECT_TRUE(cli.json_enabled);
+}
+
+TEST(SweepCliTest, NoJsonDisablesEmission) {
+    const char* argv[] = {"bench", "--no-json"};
+    const auto cli = parse_sweep_cli(2, const_cast<char**>(argv), 1, "x");
+    EXPECT_FALSE(cli.json_enabled);
+}
+
+}  // namespace
+}  // namespace fl::harness
