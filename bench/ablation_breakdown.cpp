@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
         sweep.points.push_back(std::move(point));
     }
 
-    const auto results = run_timed_sweep(sweep);
+    const auto results = run_timed_sweep(sweep, cli);
 
     print_breakdown("with priority (multi-queue WFQ ordering):",
                     results[0].result);

@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
         }
     }
 
-    const auto results = run_timed_sweep(sweep);
+    const auto results = run_timed_sweep(sweep, cli);
 
     harness::Table table({"policy", "p(flip)", "rejected %", "intent match %",
                           "committed", "avg latency (s)"});

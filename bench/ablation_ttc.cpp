@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
         sweep.points.push_back(std::move(point));
     }
 
-    const auto results = run_timed_sweep(sweep);
+    const auto results = run_timed_sweep(sweep, cli);
 
     harness::Table table({"max skew (ms)", "identical blocks", "blocks",
                           "timeout-cut %", "TTCs sent / block", "avg latency (s)"});

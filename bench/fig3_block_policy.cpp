@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
             paper_config(true, policy), rate, total_txs, runs, /*seed_group=*/0));
     }
 
-    const auto results = run_timed_sweep(sweep);
+    const auto results = run_timed_sweep(sweep, cli);
 
     // Shared baseline: the same system without priorities.
     const double base = results[0].result.overall_latency.mean();

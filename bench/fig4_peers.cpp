@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
         }
     }
 
-    const auto results = run_timed_sweep(sweep);
+    const auto results = run_timed_sweep(sweep, cli);
 
     harness::Table table({"peers", "high (rel)", "medium (rel)", "low (rel)",
                           "avg (rel)", "abs baseline (s)", "abs vs 4 peers"});

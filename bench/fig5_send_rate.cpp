@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
         }
     }
 
-    const auto results = run_timed_sweep(sweep);
+    const auto results = run_timed_sweep(sweep, cli);
 
     harness::Table table({"send rate (tps)", "high (rel)", "medium (rel)",
                           "low (rel)", "system avg (rel)", "baseline avg (s)"});

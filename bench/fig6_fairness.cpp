@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
             flood_point(true, c1_rates[s], runs, total, /*seed_group=*/s + 1));
     }
 
-    const auto results = run_timed_sweep(sweep);
+    const auto results = run_timed_sweep(sweep, cli);
 
     const double base = results[0].result.overall_latency.mean();
     std::cout << "baseline (no priority, 100 tps each) avg latency: "

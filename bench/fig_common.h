@@ -87,8 +87,12 @@ inline harness::ExperimentPoint paper_point(
 
 /// Runs the sweep with wall-clock timing and a stdout footer; the timing
 /// never enters the JSON (it would break byte-identity across --threads).
+/// When --trace/--timeseries were given, instruments the selected point and
+/// writes the capture files after the sweep drains.
 inline std::vector<harness::PointResult> run_timed_sweep(
-    const harness::SweepSpec& sweep) {
+    harness::SweepSpec& sweep, const harness::SweepCli& cli) {
+    harness::TraceCapture capture;
+    harness::arm_trace_capture(sweep, cli, capture, std::cout);
     const auto started = std::chrono::steady_clock::now();
     auto results = harness::run_sweep(sweep);
     const double wall =
@@ -98,6 +102,7 @@ inline std::vector<harness::PointResult> run_timed_sweep(
         sweep.threads != 0 ? sweep.threads
                            : std::max(1u, std::thread::hardware_concurrency());
     harness::print_sweep_footer(std::cout, results.size(), threads, wall);
+    harness::emit_trace_files(cli, capture, std::cout);
     return results;
 }
 

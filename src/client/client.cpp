@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "obs/trace.h"
 #include "peer/endorser.h"
 
 namespace fl::client {
@@ -57,6 +58,15 @@ void Client::submit(std::string chaincode, std::string function,
     pending.submitted_at = sim_.now();
     pending_.emplace(proposal.tx_id, std::move(pending));
     ++submitted_;
+    if (trace_) {
+        obs::TraceEvent ev;
+        ev.at = sim_.now();
+        ev.type = obs::EventType::kSubmit;
+        ev.actor_kind = obs::ActorKind::kClient;
+        ev.actor = id_.value();
+        ev.tx = proposal.tx_id.value();
+        trace_->emit(ev);
+    }
 
     for (peer::Peer* endorser : endorsers_) {
         net_.send(node_, endorser->node(), proposal.wire_size(),
@@ -164,6 +174,16 @@ void Client::broadcast_envelope(PendingTx& pending,
     orderer::Osn* osn = osns_[next_osn_];
     next_osn_ = (next_osn_ + 1) % osns_.size();
     const std::size_t wire = env->wire_size();
+    if (trace_) {
+        obs::TraceEvent ev;
+        ev.at = sim_.now();
+        ev.type = obs::EventType::kBroadcast;
+        ev.actor_kind = obs::ActorKind::kClient;
+        ev.actor = id_.value();
+        ev.tx = pending.proposal.tx_id.value();
+        ev.value = wire;
+        trace_->emit(ev);
+    }
     net_.send(node_, osn->node(), wire,
               [osn, env = std::move(env)] { osn->broadcast(env); });
 
@@ -188,6 +208,18 @@ void Client::on_commit(const peer::CommitNotice& notice) {
     record.code = notice.code;
     pending_.erase(it);
     ++completed_;
+    if (trace_) {
+        obs::TraceEvent ev;
+        ev.at = sim_.now();
+        ev.type = obs::EventType::kComplete;
+        ev.actor_kind = obs::ActorKind::kClient;
+        ev.actor = id_.value();
+        ev.tx = notice.tx_id.value();
+        ev.priority = notice.priority;
+        ev.block = notice.block;
+        ev.code = notice.code;
+        trace_->emit(ev);
+    }
     if (on_complete_) on_complete_(record);
 }
 
@@ -201,6 +233,18 @@ void Client::fail_client_side(const PendingTx& pending, TxValidationCode code) {
     record.code = code;
     record.failed_before_ordering = true;
     ++failures_;
+    FL_DEBUG("client " << id_.value() << ": tx " << pending.proposal.tx_id.value()
+                       << " failed client-side: " << to_string(code));
+    if (trace_) {
+        obs::TraceEvent ev;
+        ev.at = sim_.now();
+        ev.type = obs::EventType::kClientFail;
+        ev.actor_kind = obs::ActorKind::kClient;
+        ev.actor = id_.value();
+        ev.tx = pending.proposal.tx_id.value();
+        ev.code = code;
+        trace_->emit(ev);
+    }
     const TxId id = pending.proposal.tx_id;
     pending_.erase(id);
     if (on_complete_) on_complete_(record);

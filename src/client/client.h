@@ -22,6 +22,10 @@
 #include "peer/peer.h"
 #include "policy/channel_config.h"
 
+namespace fl::obs {
+class TraceSink;
+}
+
 namespace fl::client {
 
 struct ClientParams {
@@ -98,6 +102,9 @@ public:
         on_complete_ = std::move(cb);
     }
 
+    /// Attaches a trace sink (null detaches); branch-on-null emit sites.
+    void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
     [[nodiscard]] ClientId id() const { return id_; }
     [[nodiscard]] NodeId node() const { return node_; }
 
@@ -144,6 +151,8 @@ private:
     std::uint64_t submitted_ = 0;
     std::uint64_t completed_ = 0;
     std::uint64_t failures_ = 0;
+
+    obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace fl::client

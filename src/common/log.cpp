@@ -26,6 +26,16 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+    if (name == "trace") return LogLevel::kTrace;
+    if (name == "debug") return LogLevel::kDebug;
+    if (name == "info") return LogLevel::kInfo;
+    if (name == "warn") return LogLevel::kWarn;
+    if (name == "error") return LogLevel::kError;
+    if (name == "off") return LogLevel::kOff;
+    return std::nullopt;
+}
+
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
     std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());

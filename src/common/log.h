@@ -2,8 +2,10 @@
 // examples and tests can raise the level to trace the transaction flow.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace fl {
 
@@ -13,6 +15,11 @@ enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 /// read it; still intended to be set once, up front.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
+
+/// Parses "trace" | "debug" | "info" | "warn" | "error" | "off"
+/// (case-sensitive, like every other CLI token here); nullopt on anything
+/// else so callers can reject unknown names instead of guessing.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view name);
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);

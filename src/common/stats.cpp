@@ -53,6 +53,7 @@ void RunningStats::merge(const RunningStats& other) {
 
 Histogram::Histogram(double min_value, double max_value, int buckets_per_decade)
     : min_value_(min_value),
+      max_value_(max_value),
       log_min_(std::log10(min_value)),
       bucket_width_log_(1.0 / buckets_per_decade) {
     if (min_value <= 0.0 || max_value <= min_value || buckets_per_decade < 1) {
@@ -76,6 +77,11 @@ double Histogram::bucket_upper_bound(std::size_t idx) const {
 }
 
 void Histogram::add(double value) {
+    if (value < min_value_) {
+        ++underflow_;  // clamped into bucket 0
+    } else if (value > max_value_) {
+        ++overflow_;  // clamped into the last bucket
+    }
     ++buckets_[bucket_index(value)];
     ++total_;
     stats_.add(value);
@@ -104,6 +110,8 @@ void Histogram::merge(const Histogram& other) {
         buckets_[i] += other.buckets_[i];
     }
     total_ += other.total_;
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
     stats_.merge(other.stats_);
 }
 

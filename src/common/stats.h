@@ -55,6 +55,12 @@ public:
     [[nodiscard]] double max() const { return stats_.max(); }
     [[nodiscard]] const RunningStats& stats() const { return stats_; }
 
+    /// Values outside [min_value, max_value] are clamped into the edge
+    /// buckets (mean/min/max stay exact); these counters make that
+    /// saturation visible instead of silently distorting percentiles.
+    [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+    [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+
     void merge(const Histogram& other);
 
 private:
@@ -62,10 +68,13 @@ private:
     [[nodiscard]] double bucket_upper_bound(std::size_t idx) const;
 
     double min_value_;
+    double max_value_;
     double log_min_;
     double bucket_width_log_;  // log10 width of one bucket
     std::vector<std::uint64_t> buckets_;
     std::uint64_t total_ = 0;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
     RunningStats stats_;
 };
 

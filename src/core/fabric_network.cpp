@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
+
+#include "obs/metric_registry.h"
+#include "obs/trace.h"
 
 namespace fl::core {
 
@@ -125,6 +129,126 @@ void FabricNetwork::set_tx_sink(std::function<void(const client::TxRecord&)> sin
     for (const auto& c : clients_) {
         c->set_on_complete(sink);
     }
+}
+
+void FabricNetwork::set_trace_sink(obs::TraceSink* sink) {
+    for (const auto& c : clients_) c->set_trace(sink);
+    for (const auto& p : peers_) p->set_trace(sink);
+    for (const auto& o : osns_) o->set_trace(sink);
+    if (sink == nullptr) {
+        broker_->set_on_append(nullptr);
+        return;
+    }
+    // The broker is record-agnostic, so the topic->level mapping lives here.
+    std::unordered_map<std::string, PriorityLevel> levels;
+    for (std::uint32_t l = 0; l < config_.channel.effective_levels(); ++l) {
+        levels.emplace(config_.channel.topic_for_level(l), l);
+    }
+    broker_->set_on_append(
+        [sink, levels = std::move(levels), sim = &sim_](
+            const std::string& topic, mq::Offset offset,
+            const orderer::OrderedRecord& rec, std::size_t wire) {
+            if (rec.is_config()) return;  // config updates carry no tx id
+            obs::TraceEvent ev;
+            ev.at = sim->now();
+            ev.actor_kind = obs::ActorKind::kBroker;
+            ev.actor = 0;
+            if (const auto it = levels.find(topic); it != levels.end()) {
+                ev.priority = it->second;
+            }
+            ev.value = offset;
+            ev.value2 = wire;
+            if (rec.is_ttc()) {
+                ev.type = obs::EventType::kTtcEnqueue;
+                ev.block = rec.ttc_block;
+            } else {
+                ev.type = obs::EventType::kEnqueue;
+                ev.tx = rec.envelope->tx_id().value();
+            }
+            sink->emit(ev);
+        });
+}
+
+void FabricNetwork::register_metrics(obs::MetricRegistry& registry) {
+    // Queue depth (consumer lag) per priority level, seen by OSN 0's
+    // generator: records appended minus records its subscription consumed.
+    const orderer::Osn* osn0 = osns_.front().get();
+    for (std::uint32_t l = 0; l < config_.channel.effective_levels(); ++l) {
+        const std::string topic = config_.channel.topic_for_level(l);
+        registry.add_gauge(
+            "queue_depth_p" + std::to_string(l), [this, osn0, topic, l] {
+                const auto* gen = osn0->generator();
+                const std::uint64_t consumed =
+                    gen ? gen->subscriptions()[l]->consumed_count() : 0;
+                return static_cast<double>(broker_->topic_size(topic)) -
+                       static_cast<double>(consumed);
+            });
+    }
+    for (std::uint32_t l = 0; l < config_.channel.effective_levels(); ++l) {
+        registry.add_gauge("block_fill_p" + std::to_string(l), [osn0, l] {
+            return static_cast<double>(osn0->level_totals()[l]);
+        });
+    }
+    registry.add_gauge("blocks_cut", [osn0] {
+        const auto* gen = osn0->generator();
+        return gen ? static_cast<double>(gen->blocks_cut()) : 0.0;
+    });
+    registry.add_gauge("quota_transfers", [osn0] {
+        const auto* gen = osn0->generator();
+        return gen ? static_cast<double>(gen->quota_transfers()) : 0.0;
+    });
+    registry.add_gauge("ttcs_sent", [this] {
+        double total = 0.0;
+        for (const auto& o : osns_) {
+            if (const auto* gen = o->generator()) {
+                total += static_cast<double>(gen->ttcs_sent());
+            }
+        }
+        return total;
+    });
+    registry.add_gauge("stale_ttcs", [this] {
+        double total = 0.0;
+        for (const auto& o : osns_) {
+            if (const auto* gen = o->generator()) {
+                total += static_cast<double>(gen->stale_ttcs_skipped());
+            }
+        }
+        return total;
+    });
+    registry.add_gauge("mvcc_priority_wins", [this] {
+        double total = 0.0;
+        for (const auto& p : peers_) {
+            total += static_cast<double>(p->mvcc_priority_wins());
+        }
+        return total;
+    });
+    registry.add_gauge("mvcc_fifo_wins", [this] {
+        double total = 0.0;
+        for (const auto& p : peers_) {
+            total += static_cast<double>(p->mvcc_fifo_wins());
+        }
+        return total;
+    });
+    registry.add_gauge("txs_valid", [this] {
+        return static_cast<double>(peers_.front()->txs_valid());
+    });
+    registry.add_gauge("txs_invalid", [this] {
+        return static_cast<double>(peers_.front()->txs_invalid());
+    });
+    registry.add_gauge("endorse_failures", [this] {
+        double total = 0.0;
+        for (const auto& c : clients_) {
+            total += static_cast<double>(c->client_side_failures());
+        }
+        return total;
+    });
+    registry.add_gauge("consolidation_failures", [this] {
+        double total = 0.0;
+        for (const auto& o : osns_) {
+            total += static_cast<double>(o->consolidation_failures());
+        }
+        return total;
+    });
 }
 
 void FabricNetwork::update_block_policy(const policy::BlockFormationPolicy& new_policy) {

@@ -28,6 +28,11 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 
+namespace fl::obs {
+class MetricRegistry;
+class TraceSink;
+}  // namespace fl::obs
+
 namespace fl::core {
 
 class FabricNetwork {
@@ -51,6 +56,18 @@ public:
 
     /// Registers a completion callback wired to every client.
     void set_tx_sink(std::function<void(const client::TxRecord&)> sink);
+
+    /// Attaches a trace sink to every component (clients, peers, OSNs and
+    /// the broker); null detaches everywhere.  The sink only records —
+    /// attaching it schedules no simulator events, so results are
+    /// byte-identical with and without a trace.
+    void set_trace_sink(obs::TraceSink* sink);
+
+    /// Registers the standard gauge set (per-priority queue depth and block
+    /// fill, generator/validator/consolidation counters) on `registry`.
+    /// Gauges read live component state; sample them via a
+    /// TimeSeriesRecorder on this network's simulator.
+    void register_metrics(obs::MetricRegistry& registry);
 
     /// Runs the simulation until all scheduled work drains.
     void run() { sim_.run(); }

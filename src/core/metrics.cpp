@@ -8,7 +8,9 @@ namespace fl::core {
 
 namespace {
 
-/// One latency distribution as {count, mean, p50, p95, p99, min, max}.
+/// One latency distribution as {count, mean, p50, p95, p99, min, max,
+/// underflow, overflow} — the saturation counters flag values the histogram
+/// clamped into its edge buckets (percentiles there are not trustworthy).
 void write_histogram(JsonWriter& json, const Histogram& hist) {
     json.begin_object();
     json.field("count", hist.count());
@@ -18,6 +20,8 @@ void write_histogram(JsonWriter& json, const Histogram& hist) {
     json.field("p99_s", hist.percentile(99.0));
     json.field("min_s", hist.min());
     json.field("max_s", hist.max());
+    json.field("underflow", hist.underflow());
+    json.field("overflow", hist.overflow());
     json.end_object();
 }
 

@@ -7,7 +7,8 @@
 
 namespace fl::harness {
 
-RunResult run_once(const ExperimentSpec& spec, std::uint64_t seed) {
+RunResult run_once(const ExperimentSpec& spec, std::uint64_t seed,
+                   unsigned run_index) {
     core::NetworkConfig config = spec.config;
     config.seed = seed;
     core::FabricNetwork net(config);
@@ -21,6 +22,10 @@ RunResult run_once(const ExperimentSpec& spec, std::uint64_t seed) {
     Workload workload = spec.make_workload();
     WorkloadDriver driver(net, std::move(workload), Rng(seed ^ 0x574B4C44ull));
     driver.start();
+    // Instrument after the workload is scheduled: a sampling recorder armed
+    // against an empty event queue would never fire (it only re-arms while
+    // other events are pending, so the sim can drain).
+    if (spec.instrument) spec.instrument(net, run_index);
     net.run();
 
     result.chains_identical = net.chains_identical();
@@ -54,7 +59,7 @@ AggregateResult run_experiment(const ExperimentSpec& spec) {
     }
     AggregateResult agg;
     for (unsigned run = 0; run < spec.runs; ++run) {
-        const RunResult r = run_once(spec, spec.base_seed + run);
+        const RunResult r = run_once(spec, spec.base_seed + run, run);
 
         agg.overall_latency.add_run(r.metrics.avg_latency());
         agg.throughput_tps.add_run(r.metrics.throughput_tps());

@@ -39,6 +39,13 @@ struct ExperimentSpec {
     /// When true, run_experiment keeps a per-run JSON metrics dump (see
     /// core::write_metrics_json) in AggregateResult::run_metrics_json.
     bool keep_run_metrics = false;
+
+    /// Observability hook, invoked once per run after the workload is
+    /// scheduled but before the simulation drains — the point where a trace
+    /// sink or a TimeSeriesRecorder can attach to the live network (the
+    /// recorder needs pending events to arm its sampling timer against).
+    /// The second argument is the run index (0-based).
+    std::function<void(core::FabricNetwork&, unsigned)> instrument;
 };
 
 /// Results of a single run.
@@ -94,8 +101,10 @@ struct AggregateResult {
     [[nodiscard]] double extra_total(const std::string& key) const;
 };
 
-/// Executes one run with the given seed.
-[[nodiscard]] RunResult run_once(const ExperimentSpec& spec, std::uint64_t seed);
+/// Executes one run with the given seed.  `run_index` is forwarded to
+/// ExperimentSpec::instrument.
+[[nodiscard]] RunResult run_once(const ExperimentSpec& spec, std::uint64_t seed,
+                                 unsigned run_index = 0);
 
 /// Backward-compatible overload without probes.
 [[nodiscard]] RunResult run_once(core::NetworkConfig config,

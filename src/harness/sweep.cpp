@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/json.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 
@@ -166,6 +167,17 @@ namespace {
        << "  --json PATH   per-point JSON output path "
           "(default: BENCH_local_" << bench_name << ".json)\n"
        << "  --no-json     disable the JSON output\n"
+       << "  --trace PATH  capture a per-transaction lifecycle trace of one "
+          "run\n"
+       << "                (Chrome trace-event JSON for Perfetto; compact "
+          "JSONL when\n"
+       << "                PATH ends in .jsonl)\n"
+       << "  --timeseries PATH  sample queue/WFQ/validator gauges on a "
+          "simulated-time\n"
+       << "                cadence into a JSONL file\n"
+       << "  --trace-point N  grid point to instrument (default: 0; run 0 "
+          "of it)\n"
+       << "  --log-level L  stderr log level: trace|debug|info|warn|error|off\n"
        << "  --help        this text\n";
     std::exit(exit_code);
 }
@@ -220,6 +232,36 @@ SweepCli parse_sweep_cli(int argc, char** argv, std::uint64_t default_seed,
             cli.json_path = path;
         } else if (arg == "--no-json") {
             cli.json_enabled = false;
+        } else if (arg == "--trace") {
+            const char* path = next();
+            if (path == nullptr || *path == '\0') {
+                std::cerr << "--trace: missing path\n";
+                usage(bench_name, 2);
+            }
+            cli.trace_path = path;
+        } else if (arg == "--timeseries") {
+            const char* path = next();
+            if (path == nullptr || *path == '\0') {
+                std::cerr << "--timeseries: missing path\n";
+                usage(bench_name, 2);
+            }
+            cli.timeseries_path = path;
+        } else if (arg == "--trace-point") {
+            cli.trace_point =
+                static_cast<std::size_t>(parse_u64(arg, next(), bench_name));
+        } else if (arg == "--log-level") {
+            const char* name = next();
+            if (name == nullptr || *name == '\0') {
+                std::cerr << "--log-level: missing value\n";
+                usage(bench_name, 2);
+            }
+            const std::optional<LogLevel> level = parse_log_level(name);
+            if (!level) {
+                std::cerr << "--log-level: unknown level '" << name
+                          << "' (expected trace|debug|info|warn|error|off)\n";
+                usage(bench_name, 2);
+            }
+            set_log_level(*level);
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             usage(bench_name, 2);
@@ -241,6 +283,81 @@ bool emit_sweep_json(const SweepCli& cli, const SweepSpec& spec,
     write_sweep_json(file, spec, results);
     status << "per-point JSON written to " << cli.json_path << "\n";
     return true;
+}
+
+void arm_trace_capture(SweepSpec& spec, const SweepCli& cli,
+                       TraceCapture& capture, std::ostream& status) {
+    const bool want_trace = !cli.trace_path.empty();
+    const bool want_series = !cli.timeseries_path.empty();
+    if ((!want_trace && !want_series) || spec.points.empty()) return;
+
+    std::size_t idx = cli.trace_point;
+    if (idx >= spec.points.size()) {
+        status << "WARNING: --trace-point " << idx << " out of range ("
+               << spec.points.size() << " points); tracing point 0\n";
+        idx = 0;
+    }
+    status << "instrumenting point " << idx << " ('" << spec.points[idx].label
+           << "'), run 0\n";
+
+    // Only run 0 of one point attaches — one network, one worker, so the
+    // capture needs no locking and the bytes cannot depend on --threads.
+    spec.points[idx].spec.instrument = [&capture, want_trace, want_series](
+                                           core::FabricNetwork& net,
+                                           unsigned run) {
+        if (run != 0) return;
+        if (want_trace) net.set_trace_sink(&capture.sink);
+        if (want_series) {
+            obs::MetricRegistry registry;
+            net.register_metrics(registry);
+            capture.recorder = std::make_unique<obs::TimeSeriesRecorder>(
+                net.simulator(), std::move(registry), capture.cadence);
+            capture.recorder->start();
+        }
+    };
+}
+
+bool emit_trace_files(const SweepCli& cli, const TraceCapture& capture,
+                      std::ostream& status) {
+    bool wrote = false;
+    if (!cli.trace_path.empty()) {
+        std::ofstream file(cli.trace_path);
+        if (!file) {
+            status << "WARNING: cannot open trace output path "
+                   << cli.trace_path << "\n";
+        } else {
+            if (cli.trace_path.size() >= 6 &&
+                cli.trace_path.compare(cli.trace_path.size() - 6, 6,
+                                       ".jsonl") == 0) {
+                capture.sink.write_jsonl(file);
+            } else {
+                capture.sink.write_chrome_json(file);
+            }
+            status << "trace (" << capture.sink.size() << " events) written to "
+                   << cli.trace_path << "\n";
+            wrote = true;
+        }
+    }
+    if (!cli.timeseries_path.empty()) {
+        if (!capture.recorder) {
+            status << "WARNING: no time-series captured (instrumented run "
+                      "never executed?); skipping " << cli.timeseries_path
+                   << "\n";
+        } else {
+            std::ofstream file(cli.timeseries_path);
+            if (!file) {
+                status << "WARNING: cannot open time-series output path "
+                       << cli.timeseries_path << "\n";
+            } else {
+                capture.recorder->write_jsonl(file);
+                status << "time series (" << capture.recorder->samples().size()
+                       << " samples) written to " << cli.timeseries_path
+                       << "\n";
+                wrote = true;
+            }
+        }
+    }
+    return wrote;
 }
 
 }  // namespace fl::harness

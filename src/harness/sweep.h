@@ -20,12 +20,15 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "harness/experiment.h"
+#include "obs/metric_registry.h"
+#include "obs/trace.h"
 
 namespace fl::harness {
 
@@ -85,6 +88,9 @@ struct SweepCli {
     bool json_enabled = true;        ///< --no-json clears it
     std::optional<unsigned> runs;          ///< --runs R (overrides env)
     std::optional<std::uint64_t> total_txs;  ///< --txs T (overrides env)
+    std::string trace_path;          ///< --trace PATH (empty = no trace)
+    std::string timeseries_path;     ///< --timeseries PATH (empty = none)
+    std::size_t trace_point = 0;     ///< --trace-point N (which grid point)
 
     [[nodiscard]] unsigned runs_or(unsigned default_runs) const {
         return runs ? *runs : runs_from_env(default_runs);
@@ -94,8 +100,10 @@ struct SweepCli {
     }
 };
 
-/// Parses --threads/--seed/--json/--no-json/--runs/--txs (--help prints
-/// usage and exits).  `bench_name` sets the default JSON path
+/// Parses --threads/--seed/--json/--no-json/--runs/--txs plus the
+/// observability flags --trace/--timeseries/--trace-point/--log-level
+/// (--help prints usage and exits; an unknown --log-level name is rejected
+/// at the CLI).  `bench_name` sets the default JSON path
 /// (BENCH_local_<name>.json) and `default_seed` the default --seed.
 [[nodiscard]] SweepCli parse_sweep_cli(int argc, char** argv,
                                        std::uint64_t default_seed,
@@ -106,5 +114,33 @@ struct SweepCli {
 bool emit_sweep_json(const SweepCli& cli, const SweepSpec& spec,
                      const std::vector<PointResult>& results,
                      std::ostream& status);
+
+// ---------------------------------------------------------------------------
+// Trace / time-series capture for bench drivers.
+
+/// State for capturing one instrumented run out of a sweep: the trace sink
+/// plus (when requested) the sampling recorder.  Must outlive run_sweep.
+/// Only run 0 of the selected point is instrumented, so the capture sees a
+/// single network and the bytes are independent of --threads (the sink is
+/// only touched from the worker that owns that point, and run_sweep joins
+/// all workers before the files are written).
+struct TraceCapture {
+    obs::TraceSink sink;
+    std::unique_ptr<obs::TimeSeriesRecorder> recorder;
+    /// Simulated-time sampling cadence for --timeseries.
+    Duration cadence = Duration::millis(100);
+};
+
+/// Installs an instrument hook on the point selected by cli.trace_point when
+/// --trace and/or --timeseries were given; no-op otherwise.  An out-of-range
+/// --trace-point falls back to point 0 with a warning on `status`.
+void arm_trace_capture(SweepSpec& spec, const SweepCli& cli,
+                       TraceCapture& capture, std::ostream& status);
+
+/// Writes the captured trace (Chrome trace-event JSON, or JSONL when the
+/// path ends in ".jsonl") and/or the time-series JSONL after the sweep
+/// completes.  Returns true if any file was written.
+bool emit_trace_files(const SweepCli& cli, const TraceCapture& capture,
+                      std::ostream& status);
 
 }  // namespace fl::harness

@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/log.h"
 #include "common/types.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -58,6 +59,7 @@ public:
         if (ready_.empty()) throw std::logic_error("Subscription::pop: empty");
         T value = std::move(ready_.front().second);
         ready_.pop_front();
+        ++popped_;
         return value;
     }
 
@@ -67,6 +69,10 @@ public:
 
     [[nodiscard]] std::size_t ready_count() const { return ready_.size(); }
     [[nodiscard]] Offset next_expected_offset() const { return next_offset_; }
+    /// Records this consumer has pop()ed so far.  Together with the broker's
+    /// topic_size this yields the consumer's queue depth (lag), the
+    /// per-priority backlog series the observability layer samples.
+    [[nodiscard]] std::uint64_t consumed_count() const { return popped_; }
 
 private:
     template <typename U>
@@ -88,6 +94,7 @@ private:
     std::map<Offset, T> pending_;           // out-of-order arrivals
     std::deque<std::pair<Offset, T>> ready_;  // in-order, unconsumed
     Offset next_offset_ = 0;
+    std::uint64_t popped_ = 0;
     std::function<void()> on_ready_;
 };
 
@@ -107,8 +114,19 @@ public:
     Broker(const Broker&) = delete;
     Broker& operator=(const Broker&) = delete;
 
+    /// Observability hook fired synchronously on every append (topic name,
+    /// assigned offset, the record, wire size).  Type-erased so the broker
+    /// stays agnostic of record semantics; null by default and guarded by a
+    /// single branch, so untraced runs pay nothing.
+    using AppendHook =
+        std::function<void(const std::string&, Offset, const T&, std::size_t)>;
+    void set_on_append(AppendHook hook) { on_append_ = std::move(hook); }
+
     /// Creates a topic; idempotent.
-    void create_topic(const std::string& name) { topics_.try_emplace(name); }
+    void create_topic(const std::string& name) {
+        const auto [it, inserted] = topics_.try_emplace(name);
+        if (inserted) it->second.name = name;
+    }
 
     [[nodiscard]] bool has_topic(const std::string& name) const {
         return topics_.contains(name);
@@ -171,6 +189,7 @@ private:
     };
 
     struct TopicLog {
+        std::string name;  ///< stored so the append hook never formats
         std::vector<T> records;
         std::vector<std::size_t> record_sizes;
         std::vector<Subscriber> subscribers;
@@ -188,6 +207,9 @@ private:
         const Offset off = static_cast<Offset>(log.records.size());
         log.records.push_back(std::move(value));
         log.record_sizes.push_back(wire_size);
+        FL_TRACE("mq: " << log.name << " append @" << off << " (" << wire_size
+                        << " B, " << log.subscribers.size() << " subscribers)");
+        if (on_append_) on_append_(log.name, off, log.records.back(), wire_size);
         for (Subscriber& s : log.subscribers) {
             push_to(s, off, log.records.back(), wire_size);
         }
@@ -204,6 +226,7 @@ private:
     sim::Simulator& sim_;
     sim::Network& net_;
     BrokerParams params_;
+    AppendHook on_append_;
     std::unordered_map<std::string, TopicLog> topics_;
 };
 

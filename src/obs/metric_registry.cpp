@@ -1,0 +1,62 @@
+#include "obs/metric_registry.h"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "common/json.h"
+
+namespace fl::obs {
+
+void MetricRegistry::add_gauge(std::string name, GaugeFn fn) {
+    if (!fn) throw std::invalid_argument("MetricRegistry: null gauge " + name);
+    names_.push_back(std::move(name));
+    gauges_.push_back(std::move(fn));
+}
+
+std::vector<double> MetricRegistry::sample() const {
+    std::vector<double> values;
+    values.reserve(gauges_.size());
+    for (const GaugeFn& fn : gauges_) {
+        values.push_back(fn());
+    }
+    return values;
+}
+
+TimeSeriesRecorder::TimeSeriesRecorder(sim::Simulator& sim, MetricRegistry registry,
+                                       Duration cadence)
+    : sim_(sim), registry_(std::move(registry)), cadence_(cadence) {
+    if (cadence <= Duration::zero()) {
+        throw std::invalid_argument("TimeSeriesRecorder: cadence must be positive");
+    }
+}
+
+void TimeSeriesRecorder::start() {
+    if (started_) return;
+    started_ = true;
+    samples_.push_back(Sample{sim_.now().as_nanos(), registry_.sample()});
+    if (!sim_.empty()) {
+        sim_.schedule_after(cadence_, [this] { tick(); });
+    }
+}
+
+void TimeSeriesRecorder::tick() {
+    samples_.push_back(Sample{sim_.now().as_nanos(), registry_.sample()});
+    // Re-arm only while real work remains; otherwise the recorder would keep
+    // the drained simulation alive forever.
+    if (!sim_.empty()) {
+        sim_.schedule_after(cadence_, [this] { tick(); });
+    }
+}
+
+void TimeSeriesRecorder::write_jsonl(std::ostream& os) const {
+    const std::vector<std::string>& names = registry_.names();
+    for (const Sample& s : samples_) {
+        os << R"({"t_s":)" << json_number(static_cast<double>(s.t_ns) / 1e9);
+        for (std::size_t i = 0; i < names.size() && i < s.values.size(); ++i) {
+            os << ",\"" << names[i] << "\":" << json_number(s.values[i]);
+        }
+        os << "}\n";
+    }
+}
+
+}  // namespace fl::obs

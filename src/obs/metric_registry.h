@@ -1,0 +1,84 @@
+// Simulated-time time-series probes.
+//
+// A MetricRegistry is an insertion-ordered list of named gauges — closures
+// that read a counter or queue depth off a live component.  A
+// TimeSeriesRecorder samples every gauge on a fixed simulated-time cadence
+// and serializes the samples as JSONL (one flat object per line).
+//
+// Determinism: sampling is read-only, so it cannot change any simulation
+// result; the recorder's tick events shift later events' sequence numbers
+// uniformly, which preserves their relative order (sim/simulator.h breaks
+// timestamp ties by scheduling order).  Sample times are multiples of the
+// cadence in simulated time, so the serialized series is byte-identical for
+// a given seed at any --threads value.
+//
+// Termination: the recorder re-arms itself only while other events are still
+// pending, so it can never keep a drained simulation alive — the final tick
+// fires once after the workload finishes and stops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace fl::obs {
+
+class MetricRegistry {
+public:
+    using GaugeFn = std::function<double()>;
+
+    /// Registers a gauge; sampled in registration order.  `name` must be a
+    /// JSON-safe identifier (letters, digits, underscores).
+    void add_gauge(std::string name, GaugeFn fn);
+
+    [[nodiscard]] const std::vector<std::string>& names() const { return names_; }
+    [[nodiscard]] std::size_t size() const { return gauges_.size(); }
+
+    /// Reads every gauge, in registration order.
+    [[nodiscard]] std::vector<double> sample() const;
+
+private:
+    std::vector<std::string> names_;
+    std::vector<GaugeFn> gauges_;
+};
+
+class TimeSeriesRecorder {
+public:
+    struct Sample {
+        std::int64_t t_ns = 0;
+        std::vector<double> values;  ///< registry order
+    };
+
+    /// Takes ownership of the registry; the gauges' captured component
+    /// pointers must outlive every tick (i.e. the network they read).
+    TimeSeriesRecorder(sim::Simulator& sim, MetricRegistry registry,
+                       Duration cadence);
+
+    /// Samples immediately and schedules ticks every `cadence` of simulated
+    /// time.  Call after the workload is scheduled: ticks re-arm only while
+    /// the simulator has other pending events.
+    void start();
+
+    [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+    [[nodiscard]] const MetricRegistry& registry() const { return registry_; }
+
+    /// One flat JSON object per sample: {"t_s": ..., "<gauge>": ..., ...}.
+    void write_jsonl(std::ostream& os) const;
+
+private:
+    void tick();
+
+    sim::Simulator& sim_;
+    MetricRegistry registry_;
+    Duration cadence_;
+    std::vector<Sample> samples_;
+    bool started_ = false;
+};
+
+}  // namespace fl::obs

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace fl::orderer {
 
@@ -153,6 +154,17 @@ bool MultiQueueBlockGenerator::scan_once() {
             }
             charge_consume();
             buckets_[i].push_back(rec.envelope);
+            if (trace_) {
+                obs::TraceEvent ev;
+                ev.at = sim_.now();
+                ev.type = obs::EventType::kDequeue;
+                ev.actor_kind = obs::ActorKind::kOsn;
+                ev.actor = trace_actor_;
+                ev.tx = rec.envelope->tx_id().value();
+                ev.priority = static_cast<PriorityLevel>(i);
+                ev.block = block_number_;
+                trace_->emit(ev);
+            }
             subs_[i]->pop();
             --remaining_[i];
             ++collected_;
@@ -171,6 +183,19 @@ bool MultiQueueBlockGenerator::scan_once() {
                 }
             }
             if (h != n) {
+                ++quota_transfers_;
+                if (trace_) {
+                    obs::TraceEvent ev;
+                    ev.at = sim_.now();
+                    ev.type = obs::EventType::kQuotaTransfer;
+                    ev.actor_kind = obs::ActorKind::kOsn;
+                    ev.actor = trace_actor_;
+                    ev.priority = static_cast<PriorityLevel>(i);  // from
+                    ev.block = block_number_;
+                    ev.value = h;                                 // to
+                    ev.value2 = remaining_[i];                    // slots
+                    trace_->emit(ev);
+                }
                 remaining_[h] += remaining_[i];
                 remaining_[i] = 0;
                 progressed = true;
@@ -257,6 +282,17 @@ void MultiQueueBlockGenerator::pump() {
         FL_DEBUG("generator: cut block " << result.number << " with "
                                          << result.transactions.size() << " txs"
                                          << (result.by_timeout ? " (timeout)" : " (size)"));
+        if (trace_) {
+            obs::TraceEvent ev;
+            ev.at = sim_.now();
+            ev.type = obs::EventType::kBlockCut;
+            ev.actor_kind = obs::ActorKind::kOsn;
+            ev.actor = trace_actor_;
+            ev.block = result.number;
+            ev.value = result.transactions.size();
+            ev.value2 = result.by_timeout ? 1 : 0;
+            trace_->emit(ev);
+        }
         ++blocks_cut_;
         ++block_number_;
         reset_block_state();

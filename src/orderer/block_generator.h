@@ -40,6 +40,10 @@
 #include "orderer/record.h"
 #include "sim/simulator.h"
 
+namespace fl::obs {
+class TraceSink;
+}
+
 namespace fl::orderer {
 
 struct GeneratorConfig {
@@ -99,10 +103,23 @@ public:
     /// tests.
     void pump();
 
+    /// Attaches a trace sink (null detaches).  `actor` labels the events
+    /// with the owning OSN's id.  Emit sites are branch-on-null, so a
+    /// detached generator does no extra work (see obs/trace.h).
+    void set_trace(obs::TraceSink* sink, std::uint64_t actor) {
+        trace_ = sink;
+        trace_actor_ = actor;
+    }
+
     [[nodiscard]] BlockNumber current_block() const { return block_number_; }
     [[nodiscard]] std::uint64_t blocks_cut() const { return blocks_cut_; }
     [[nodiscard]] std::uint64_t ttcs_sent() const { return ttcs_sent_; }
     [[nodiscard]] std::uint64_t stale_ttcs_skipped() const { return stale_ttcs_; }
+    /// Algorithm 1 lines 17-23 surplus hand-offs executed so far.
+    [[nodiscard]] std::uint64_t quota_transfers() const { return quota_transfers_; }
+    /// Per-level subscriptions (observability: queue-depth gauges read the
+    /// consumed counts off these).
+    [[nodiscard]] const Subscriptions& subscriptions() const { return subs_; }
     [[nodiscard]] const std::vector<std::uint32_t>& remaining_quotas() const {
         return remaining_;
     }
@@ -156,6 +173,10 @@ private:
     std::uint64_t ttcs_sent_ = 0;
     std::uint64_t stale_ttcs_ = 0;
     std::uint64_t config_updates_ = 0;
+    std::uint64_t quota_transfers_ = 0;
+
+    obs::TraceSink* trace_ = nullptr;  // null unless a trace was requested
+    std::uint64_t trace_actor_ = 0;
 };
 
 }  // namespace fl::orderer

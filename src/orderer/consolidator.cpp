@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/log.h"
 #include "peer/endorser.h"
 
 namespace fl::orderer {
@@ -20,22 +21,34 @@ ConsolidationResult Consolidator::consolidate(const ledger::Envelope& envelope) 
     for (const ledger::Endorsement& e : envelope.endorsements) {
         if (verify_signatures_ &&
             !peer::verify_endorsement(envelope.proposal, envelope.rwset, e, keys_)) {
+            FL_TRACE("consolidator: tx " << envelope.tx_id().value()
+                                         << " dropped endorsement by "
+                                         << e.endorser_identity << " (bad signature)");
             continue;
         }
         votes.push_back(e.priority);
     }
     if (votes.empty()) {
         out.error = "no valid endorsements";
+        FL_DEBUG("consolidator: tx " << envelope.tx_id().value()
+                                     << " rejected: no valid endorsements");
         return out;
     }
     const std::optional<PriorityLevel> level =
         policy_->consolidate(votes, channel_.effective_levels());
     if (!level) {
         out.error = "consolidation policy unsatisfied (" + policy_->name() + ")";
+        FL_DEBUG("consolidator: tx " << envelope.tx_id().value()
+                                     << " rejected: policy " << policy_->name()
+                                     << " unsatisfied over " << votes.size()
+                                     << " votes");
         return out;
     }
     out.ok = true;
     out.priority = *level;
+    FL_TRACE("consolidator: tx " << envelope.tx_id().value() << " -> level "
+                                 << out.priority << " from " << votes.size()
+                                 << " votes");
     return out;
 }
 

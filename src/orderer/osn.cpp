@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace fl::orderer {
 
@@ -53,6 +54,12 @@ void Osn::start() {
         sim_, std::move(gen_cfg), std::move(subs),
         [this](BlockNumber bn) { send_ttc(bn); },
         [this](CutResult result) { on_cut(std::move(result)); });
+    generator_->set_trace(trace_, id_.value());
+}
+
+void Osn::set_trace(obs::TraceSink* sink) {
+    trace_ = sink;
+    if (generator_) generator_->set_trace(trace_, id_.value());
 }
 
 void Osn::broadcast(std::shared_ptr<const ledger::Envelope> envelope) {
@@ -73,9 +80,28 @@ void Osn::broadcast(std::shared_ptr<const ledger::Envelope> envelope) {
                 ++consolidation_failures_;
                 FL_DEBUG("osn " << id_.value() << ": consolidation failed for tx "
                                 << envelope->tx_id().value() << ": " << result.error);
+                if (trace_) {
+                    obs::TraceEvent ev;
+                    ev.at = sim_.now();
+                    ev.type = obs::EventType::kConsolidateFail;
+                    ev.actor_kind = obs::ActorKind::kOsn;
+                    ev.actor = id_.value();
+                    ev.tx = envelope->tx_id().value();
+                    trace_->emit(ev);
+                }
                 return;  // rejected before ordering, as an invalid submission
             }
             level = params_.byzantine_promote_all ? 0 : result.priority;
+            if (trace_) {
+                obs::TraceEvent ev;
+                ev.at = sim_.now();
+                ev.type = obs::EventType::kConsolidate;
+                ev.actor_kind = obs::ActorKind::kOsn;
+                ev.actor = id_.value();
+                ev.tx = envelope->tx_id().value();
+                ev.priority = level;
+                trace_->emit(ev);
+            }
             // Stamp the consolidated priority on the ordered copy.
             auto stamped = std::make_shared<ledger::Envelope>(*envelope);
             stamped->consolidated_priority = level;

@@ -27,6 +27,10 @@
 #include "sim/cpu.h"
 #include "sim/network.h"
 
+namespace fl::obs {
+class TraceSink;
+}
+
 namespace fl::orderer {
 
 struct OsnParams {
@@ -104,6 +108,10 @@ public:
     /// non-zero quota (true for every practical policy).
     void submit_config_update(const policy::BlockFormationPolicy& new_policy);
 
+    /// Attaches a trace sink (null detaches); forwarded to the block
+    /// generator, so this works both before and after start().
+    void set_trace(obs::TraceSink* sink);
+
     [[nodiscard]] OsnId id() const { return id_; }
     [[nodiscard]] NodeId node() const { return node_; }
 
@@ -153,6 +161,8 @@ private:
     std::uint64_t received_ = 0;
     std::uint64_t consolidation_failures_ = 0;
     std::uint64_t blocks_delivered_ = 0;
+
+    obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace fl::orderer

@@ -1,6 +1,7 @@
 #include "peer/endorser.h"
 
 #include "chaincode/chaincode.h"
+#include "common/log.h"
 #include "crypto/sha256.h"
 
 namespace fl::peer {
@@ -14,6 +15,9 @@ EndorsementResult endorse(const ledger::Proposal& proposal,
     EndorsementResult out;
     if (!registry.has(proposal.chaincode)) {
         out.error = "unknown chaincode " + proposal.chaincode;
+        FL_DEBUG("endorser " << identity.name << ": tx " << proposal.tx_id.value()
+                             << " rejected: unknown chaincode "
+                             << proposal.chaincode);
         return out;
     }
 
@@ -22,6 +26,9 @@ EndorsementResult endorse(const ledger::Proposal& proposal,
                                          .invoke(tx_ctx, proposal.function, proposal.args);
     if (!resp.ok) {
         out.error = resp.message;
+        FL_DEBUG("endorser " << identity.name << ": tx " << proposal.tx_id.value()
+                             << " chaincode " << proposal.chaincode
+                             << " failed: " << resp.message);
         return out;
     }
     out.rwset = std::move(tx_ctx).take_rwset();
@@ -38,6 +45,9 @@ EndorsementResult endorse(const ledger::Proposal& proposal,
 
     out.endorsement = std::move(e);
     out.ok = true;
+    FL_TRACE("endorser " << identity.name << ": tx " << proposal.tx_id.value()
+                         << " endorsed, priority vote "
+                         << out.endorsement.priority);
     return out;
 }
 

@@ -1,6 +1,7 @@
 #include "peer/peer.h"
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace fl::peer {
 
@@ -54,6 +55,18 @@ void Peer::handle_proposal(const ledger::Proposal& proposal,
         EndorsementResult result =
             endorse(proposal, state_, registry_, *calculator_, ctx, keys_, identity_);
         ++endorsed_;
+        if (trace_) {
+            obs::TraceEvent ev;
+            ev.at = sim_.now();
+            ev.type = obs::EventType::kEndorseReply;
+            ev.actor_kind = obs::ActorKind::kPeer;
+            ev.actor = id_.value();
+            ev.tx = proposal.tx_id.value();
+            ev.priority = result.ok ? result.endorsement.priority
+                                    : kUnassignedPriority;
+            ev.value = result.ok ? 1 : 0;
+            trace_->emit(ev);
+        }
         reply(std::move(result));
     });
 }
@@ -107,6 +120,8 @@ void Peer::commit_block(const ledger::Block& block) {
     ++blocks_committed_;
     txs_valid_ += outcome.valid_count;
     txs_invalid_ += block.size() - outcome.valid_count;
+    mvcc_priority_wins_ += outcome.conflicts_priority_resolved;
+    mvcc_fifo_wins_ += outcome.conflicts_fifo_resolved;
     for (std::size_t i = 0; i < block.transactions.size(); ++i) {
         if (!is_valid(outcome.codes[i])) {
             ++invalid_by_code_[outcome.codes[i]];
@@ -116,6 +131,19 @@ void Peer::commit_block(const ledger::Block& block) {
     // Notify submitting clients registered at this peer.
     for (std::size_t i = 0; i < block.transactions.size(); ++i) {
         const ledger::Envelope& tx = block.transactions[i];
+        if (trace_) {
+            obs::TraceEvent ev;
+            ev.at = sim_.now();
+            ev.type = is_valid(outcome.codes[i]) ? obs::EventType::kCommit
+                                                 : obs::EventType::kAbort;
+            ev.actor_kind = obs::ActorKind::kPeer;
+            ev.actor = id_.value();
+            ev.tx = tx.tx_id().value();
+            ev.priority = tx.consolidated_priority;
+            ev.block = block.header.number;
+            ev.code = outcome.codes[i];
+            trace_->emit(ev);
+        }
         const auto it = clients_.find(tx.proposal.client);
         if (it == clients_.end()) continue;
         CommitNotice notice;

@@ -29,6 +29,10 @@
 #include "sim/cpu.h"
 #include "sim/network.h"
 
+namespace fl::obs {
+class TraceSink;
+}
+
 namespace fl::peer {
 
 struct PeerParams {
@@ -103,6 +107,10 @@ public:
     /// on every peer before traffic starts.
     void seed_state(const std::string& key, const std::string& value);
 
+    /// Attaches a trace sink (null detaches).  Emit sites branch on null, so
+    /// untraced peers pay one predicted-not-taken branch per event site.
+    void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
     // -- statistics ---------------------------------------------------------
     [[nodiscard]] std::uint64_t proposals_endorsed() const { return endorsed_; }
     [[nodiscard]] std::uint64_t blocks_committed() const { return blocks_committed_; }
@@ -110,6 +118,12 @@ public:
     [[nodiscard]] std::uint64_t txs_invalid() const { return txs_invalid_; }
     [[nodiscard]] const std::unordered_map<TxValidationCode, std::uint64_t>&
     invalid_by_code() const { return invalid_by_code_; }
+    /// Intra-block conflicts where priority order picked the winner.
+    [[nodiscard]] std::uint64_t mvcc_priority_wins() const {
+        return mvcc_priority_wins_;
+    }
+    /// Intra-block conflicts resolved by plain arrival order.
+    [[nodiscard]] std::uint64_t mvcc_fifo_wins() const { return mvcc_fifo_wins_; }
 
 private:
     struct ClientRoute {
@@ -154,7 +168,11 @@ private:
     std::uint64_t blocks_committed_ = 0;
     std::uint64_t txs_valid_ = 0;
     std::uint64_t txs_invalid_ = 0;
+    std::uint64_t mvcc_priority_wins_ = 0;
+    std::uint64_t mvcc_fifo_wins_ = 0;
     std::unordered_map<TxValidationCode, std::uint64_t> invalid_by_code_;
+
+    obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace fl::peer

@@ -6,40 +6,57 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/log.h"
 #include "peer/endorser.h"
 
 namespace fl::peer {
 
 namespace {
 
-/// Accumulated effects of transactions already accepted in this block.
+/// Accumulated effects of transactions already accepted in this block.  Each
+/// written key remembers which transaction won it, so a later conflict can
+/// report (and count) who displaced whom.
 struct AcceptedWrites {
-    std::unordered_set<std::string> keys;
+    struct Winner {
+        PriorityLevel priority = kUnassignedPriority;
+        std::uint64_t tx = 0;
+    };
+    std::unordered_map<std::string, Winner> keys;
 
-    void add(const ledger::ReadWriteSet& rwset) {
+    void add(const ledger::ReadWriteSet& rwset, PriorityLevel priority,
+             std::uint64_t tx) {
         for (const ledger::KvWrite& w : rwset.writes) {
-            keys.insert(w.key);
+            keys.emplace(w.key, Winner{priority, tx});
         }
     }
 };
 
+struct IntraBlockConflict {
+    TxValidationCode code = TxValidationCode::kValid;
+    AcceptedWrites::Winner winner;  ///< accepted tx that caused the failure
+};
+
 /// First failing intra-block conflict of `rwset` against accepted writes.
-TxValidationCode intra_block_conflict(const ledger::ReadWriteSet& rwset,
-                                      const AcceptedWrites& accepted) {
+IntraBlockConflict intra_block_conflict(const ledger::ReadWriteSet& rwset,
+                                        const AcceptedWrites& accepted) {
     for (const ledger::KvRead& r : rwset.reads) {
-        if (accepted.keys.contains(r.key)) return TxValidationCode::kMvccReadConflict;
+        if (const auto it = accepted.keys.find(r.key); it != accepted.keys.end()) {
+            return {TxValidationCode::kMvccReadConflict, it->second};
+        }
     }
     for (const ledger::RangeRead& rr : rwset.range_reads) {
-        for (const std::string& key : accepted.keys) {
+        for (const auto& [key, winner] : accepted.keys) {
             if (key >= rr.start_key && key < rr.end_key) {
-                return TxValidationCode::kPhantomReadConflict;
+                return {TxValidationCode::kPhantomReadConflict, winner};
             }
         }
     }
     for (const ledger::KvWrite& w : rwset.writes) {
-        if (accepted.keys.contains(w.key)) return TxValidationCode::kWriteConflict;
+        if (const auto it = accepted.keys.find(w.key); it != accepted.keys.end()) {
+            return {TxValidationCode::kWriteConflict, it->second};
+        }
     }
-    return TxValidationCode::kValid;
+    return {};
 }
 
 TxValidationCode check_endorsements(const ledger::Envelope& tx,
@@ -115,14 +132,32 @@ ValidationOutcome validate_block(const ledger::Block& block,
         }
         if (!state.validate_reads(tx.rwset)) {
             out.codes[idx] = TxValidationCode::kMvccReadConflict;
+            FL_DEBUG("validator: tx " << tx.tx_id().value()
+                                      << " stale read vs committed state (block "
+                                      << block.header.number << ")");
             continue;
         }
-        const TxValidationCode conflict = intra_block_conflict(tx.rwset, accepted);
-        if (!is_valid(conflict)) {
-            out.codes[idx] = conflict;
+        const IntraBlockConflict conflict = intra_block_conflict(tx.rwset, accepted);
+        if (!is_valid(conflict.code)) {
+            out.codes[idx] = conflict.code;
+            // Lower numeric level = higher priority.  A strict win means the
+            // prioritized order decided the outcome; a tie (or vanilla mode)
+            // is plain first-come-first-served.
+            if (cfg.prioritized &&
+                conflict.winner.priority < tx.consolidated_priority) {
+                ++out.conflicts_priority_resolved;
+            } else {
+                ++out.conflicts_fifo_resolved;
+            }
+            FL_DEBUG("validator: tx " << tx.tx_id().value() << " (level "
+                                      << tx.consolidated_priority << ") loses "
+                                      << to_string(conflict.code) << " to tx "
+                                      << conflict.winner.tx << " (level "
+                                      << conflict.winner.priority << ") in block "
+                                      << block.header.number);
             continue;
         }
-        accepted.add(tx.rwset);
+        accepted.add(tx.rwset, tx.consolidated_priority, tx.tx_id().value());
         ++out.valid_count;
     }
     return out;

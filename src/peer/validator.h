@@ -33,6 +33,13 @@ struct ValidationOutcome {
     /// One code per transaction, in block order.
     std::vector<TxValidationCode> codes;
     std::size_t valid_count = 0;
+    /// Intra-block conflicts where the surviving transaction had a strictly
+    /// higher (numerically lower) priority than the loser — i.e. where the
+    /// prioritized processing order changed who wins vs vanilla Fabric.
+    std::uint64_t conflicts_priority_resolved = 0;
+    /// Intra-block conflicts resolved purely by arrival order (equal
+    /// priorities, or the validator is running in vanilla block-order mode).
+    std::uint64_t conflicts_fifo_resolved = 0;
 };
 
 struct ValidatorConfig {

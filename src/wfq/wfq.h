@@ -137,6 +137,10 @@ public:
 
     [[nodiscard]] double weight(std::size_t flow) const { return flow_ref(flow).weight; }
 
+    /// Current virtual time (start tag of the last served packet) — the WFQ
+    /// clock the observability layer samples to plot scheduling progress.
+    [[nodiscard]] double virtual_time() const { return virtual_time_; }
+
 private:
     struct Packet {
         double start = 0.0;

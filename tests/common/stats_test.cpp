@@ -111,6 +111,30 @@ TEST(HistogramTest, ValuesBelowMinClampToFirstBucket) {
     EXPECT_LE(h.percentile(100), 1e-3);
 }
 
+TEST(HistogramTest, TracksUnderflowAndOverflow) {
+    Histogram h(1e-3, 10.0, 10);
+    h.add(1e-9);   // below min_value: clamped into the first bucket
+    h.add(0.5);    // in range
+    h.add(100.0);  // above max_value: clamped into the last bucket
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    // mean/min/max stay exact even for clamped samples.
+    EXPECT_DOUBLE_EQ(h.min(), 1e-9);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(HistogramTest, MergeAccumulatesUnderflowAndOverflow) {
+    Histogram a(1e-3, 10.0, 10);
+    Histogram b(1e-3, 10.0, 10);
+    a.add(1e-9);
+    b.add(1e-9);
+    b.add(100.0);
+    a.merge(b);
+    EXPECT_EQ(a.underflow(), 2u);
+    EXPECT_EQ(a.overflow(), 1u);
+}
+
 TEST(HistogramTest, MergeAddsCounts) {
     Histogram a;
     Histogram b;

@@ -1,0 +1,163 @@
+// MetricRegistry / TimeSeriesRecorder: registration order, simulated-time
+// sampling cadence, termination, and JSONL shape.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/fabric_network.h"
+#include "harness/experiment.h"
+#include "harness/workload.h"
+#include "obs/metric_registry.h"
+#include "sim/simulator.h"
+
+namespace fl::obs {
+namespace {
+
+TEST(MetricRegistryTest, SamplesInRegistrationOrder) {
+    MetricRegistry registry;
+    double a = 1.0;
+    double b = 2.0;
+    registry.add_gauge("alpha", [&a] { return a; });
+    registry.add_gauge("beta", [&b] { return b; });
+    ASSERT_EQ(registry.size(), 2u);
+    EXPECT_EQ(registry.names()[0], "alpha");
+    EXPECT_EQ(registry.names()[1], "beta");
+
+    a = 10.0;
+    const std::vector<double> sample = registry.sample();
+    ASSERT_EQ(sample.size(), 2u);
+    EXPECT_DOUBLE_EQ(sample[0], 10.0);
+    EXPECT_DOUBLE_EQ(sample[1], 2.0);
+}
+
+TEST(MetricRegistryTest, RejectsNullGauge) {
+    MetricRegistry registry;
+    EXPECT_THROW(registry.add_gauge("bad", nullptr), std::invalid_argument);
+}
+
+TEST(TimeSeriesRecorderTest, RejectsNonPositiveCadence) {
+    sim::Simulator sim;
+    EXPECT_THROW(TimeSeriesRecorder(sim, MetricRegistry{}, Duration::zero()),
+                 std::invalid_argument);
+}
+
+TEST(TimeSeriesRecorderTest, SamplesOnCadenceAndTerminates) {
+    sim::Simulator sim;
+    // A workload spanning one simulated second: ten 100ms hops that bump a
+    // counter the gauge reads.
+    std::uint64_t hops = 0;
+    std::function<void(int)> hop = [&](int remaining) {
+        ++hops;
+        if (remaining > 1) {
+            sim.schedule_after(Duration::millis(100), [&, remaining] {
+                hop(remaining - 1);
+            });
+        }
+    };
+    sim.schedule_after(Duration::millis(50), [&] { hop(10); });
+
+    MetricRegistry registry;
+    registry.add_gauge("hops", [&hops] { return static_cast<double>(hops); });
+    TimeSeriesRecorder recorder(sim, std::move(registry), Duration::millis(100));
+    recorder.start();
+    sim.run();  // must drain: the recorder cannot keep the sim alive
+
+    // Immediate sample at t=0 plus one per 100ms while work was pending.
+    ASSERT_GE(recorder.samples().size(), 10u);
+    EXPECT_EQ(recorder.samples().front().t_ns, 0);
+    for (std::size_t i = 0; i < recorder.samples().size(); ++i) {
+        EXPECT_EQ(recorder.samples()[i].t_ns,
+                  static_cast<std::int64_t>(i) * 100'000'000);
+    }
+    // The gauge saw monotonically increasing progress.
+    EXPECT_DOUBLE_EQ(recorder.samples().front().values[0], 0.0);
+    EXPECT_DOUBLE_EQ(recorder.samples().back().values[0], 10.0);
+}
+
+TEST(TimeSeriesRecorderTest, StartOnDrainedSimulatorSamplesOnce) {
+    sim::Simulator sim;
+    MetricRegistry registry;
+    registry.add_gauge("g", [] { return 5.0; });
+    TimeSeriesRecorder recorder(sim, std::move(registry), Duration::millis(10));
+    recorder.start();  // nothing pending: no timer armed
+    sim.run();
+    ASSERT_EQ(recorder.samples().size(), 1u);
+    EXPECT_DOUBLE_EQ(recorder.samples()[0].values[0], 5.0);
+}
+
+TEST(TimeSeriesRecorderTest, JsonlHasOneFlatObjectPerSample) {
+    sim::Simulator sim;
+    sim.schedule_after(Duration::millis(25), [] {});
+    MetricRegistry registry;
+    registry.add_gauge("depth", [] { return 3.5; });
+    TimeSeriesRecorder recorder(sim, std::move(registry), Duration::millis(10));
+    recorder.start();
+    sim.run();
+
+    std::ostringstream os;
+    recorder.write_jsonl(os);
+    const std::string text = os.str();
+    std::size_t lines = 0;
+    for (const char c : text) lines += c == '\n';
+    EXPECT_EQ(lines, recorder.samples().size());
+    EXPECT_EQ(text.substr(0, text.find('\n')), R"({"t_s":0,"depth":3.5})");
+}
+
+TEST(TimeSeriesRecorderTest, NetworkGaugesTrackALiveRun) {
+    harness::ExperimentSpec spec;
+    spec.config.orgs = 2;
+    spec.config.osns = 1;
+    spec.config.clients = 2;
+    spec.config.channel.priority_enabled = true;
+    spec.config.channel.block_size = 10;
+    spec.config.channel.block_timeout = Duration::millis(100);
+    spec.config.endorsement_k = 2;
+    spec.make_workload = [] {
+        harness::Workload w;
+        harness::LoadSpec load;
+        load.client_index = 0;
+        load.tps = 200;
+        load.total_txs = 40;
+        load.generate = harness::priority_class_mix({1, 2, 1});
+        w.loads.push_back(std::move(load));
+        return w;
+    };
+    spec.runs = 1;
+
+    std::unique_ptr<TimeSeriesRecorder> recorder;
+    spec.instrument = [&recorder](core::FabricNetwork& net, unsigned) {
+        MetricRegistry registry;
+        net.register_metrics(registry);
+        recorder = std::make_unique<TimeSeriesRecorder>(
+            net.simulator(), std::move(registry), Duration::millis(50));
+        recorder->start();
+    };
+    const harness::RunResult result = harness::run_once(spec, 99);
+    ASSERT_GT(result.metrics.committed_valid(), 0u);
+    ASSERT_NE(recorder, nullptr);
+    ASSERT_GT(recorder->samples().size(), 1u);
+
+    const auto& names = recorder->registry().names();
+    const auto index_of = [&names](const std::string& name) -> std::size_t {
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (names[i] == name) return i;
+        }
+        return names.size();
+    };
+    const std::size_t blocks_idx = index_of("blocks_cut");
+    const std::size_t valid_idx = index_of("txs_valid");
+    ASSERT_LT(blocks_idx, names.size());
+    ASSERT_LT(valid_idx, names.size());
+    // Counters start at zero and end at the run totals.
+    EXPECT_DOUBLE_EQ(recorder->samples().front().values[blocks_idx], 0.0);
+    EXPECT_GT(recorder->samples().back().values[blocks_idx], 0.0);
+    EXPECT_DOUBLE_EQ(
+        recorder->samples().back().values[valid_idx],
+        static_cast<double>(result.metrics.committed_valid() +
+                            result.metrics.committed_invalid() -
+                            result.txs_invalid));
+}
+
+}  // namespace
+}  // namespace fl::obs

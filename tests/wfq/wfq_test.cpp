@@ -150,6 +150,28 @@ TEST(WfqSchedulerTest, BadFlowIndexThrows) {
     EXPECT_THROW(s.enqueue(1, 1.0, 0), std::out_of_range);
 }
 
+TEST(WfqSchedulerTest, VirtualTimeAdvancesWithService) {
+    // virtual_time() is the WFQ clock the observability layer samples: it
+    // starts at 0, never moves on enqueue, and advances to the start tag of
+    // each served packet.
+    WfqScheduler<int> s({2.0, 1.0});
+    EXPECT_DOUBLE_EQ(s.virtual_time(), 0.0);
+    for (int i = 0; i < 6; ++i) {
+        s.enqueue(0, 1.0, i);
+        s.enqueue(1, 1.0, i);
+    }
+    EXPECT_DOUBLE_EQ(s.virtual_time(), 0.0);
+    double prev = 0.0;
+    for (int i = 0; i < 12; ++i) {
+        ASSERT_TRUE(s.dequeue());
+        EXPECT_GE(s.virtual_time(), prev);
+        prev = s.virtual_time();
+    }
+    // After draining a fully-backlogged period the clock reached the last
+    // start tag of the slower (weight-1) flow: 5 packets at cost 1 each.
+    EXPECT_DOUBLE_EQ(s.virtual_time(), 5.0);
+}
+
 // ---------------------------------------------------------------- WRR/DRR
 
 TEST(WrrSchedulerTest, SharesFollowWeights) {
