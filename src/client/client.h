@@ -6,11 +6,24 @@
 // everything in an envelope signed by the client, broadcast it to an OSN,
 // and finally record end-to-end latency when the commit notification comes
 // back from the client's anchor peer.
+//
+// Graceful degradation (DESIGN.md §11): with `ClientParams::retry.enabled`
+// the client arms an endorsement-collection timeout (retrying the proposal
+// round with exponential backoff + seeded jitter; a partial response set
+// that already satisfies the endorsement policy proceeds instead of
+// retrying) and a commit timeout (re-broadcasting the stored envelope to
+// the next OSN; the validator's tx-id dedup makes resubmission safe).
+// Every submission therefore terminates in exactly one of
+// {committed, aborted, failed(reason)}.  Retry is off by default and all
+// of its timers/rng draws are gated on the flag, so a fault-free run is
+// byte-identical to one built without the machinery.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +41,29 @@ class TraceSink;
 
 namespace fl::client {
 
+/// Client-side timeout / retry policy.  All times are simulated; the jitter
+/// draws come from the client's own Rng stream (and only on retries), so a
+/// retry timeline is a pure function of (params, seed).
+struct RetryParams {
+    bool enabled = false;
+
+    /// How long to wait for the full endorsement response set.
+    Duration endorsement_timeout = Duration::millis(500);
+    /// Proposal-round retries after the first attempt times out.
+    unsigned max_endorse_retries = 2;
+
+    /// How long to wait for the commit notification after broadcasting.
+    Duration commit_timeout = Duration::seconds(5);
+    /// Envelope re-broadcasts after the first commit timeout.
+    unsigned max_resubmissions = 2;
+
+    /// Backoff before retry n (1-based): base * multiplier^(n-1), scaled by
+    /// a uniform factor in [1 - jitter_frac, 1 + jitter_frac].
+    Duration backoff_base = Duration::millis(100);
+    double backoff_multiplier = 2.0;
+    double jitter_frac = 0.2;
+};
+
 struct ClientParams {
     unsigned cpu_parallelism = 4;
     /// Client-side verification of each returned endorsement (§3.1: "it is
@@ -38,6 +74,8 @@ struct ClientParams {
     /// favourable priority votes (§3.1 argues this is harmless under
     /// multi-org endorsement policies).
     bool drop_unfavorable_endorsements = false;
+    /// Timeout / retry / resubmission policy (disabled by default).
+    RetryParams retry;
 };
 
 /// Completed-transaction record for metrics, with per-phase timestamps for
@@ -58,6 +96,10 @@ struct TxRecord {
     TimePoint completed_at;
     TxValidationCode code = TxValidationCode::kValid;
     bool failed_before_ordering = false;  ///< endorsement/collection failure
+    /// Degradation counters: extra proposal rounds and envelope
+    /// re-broadcasts this transaction needed (0 in fault-free runs).
+    std::uint32_t endorse_retries = 0;
+    std::uint32_t resubmissions = 0;
 
     [[nodiscard]] Duration latency() const { return completed_at - submitted_at; }
     /// Endorsement collection + client-side verification.
@@ -113,6 +155,16 @@ public:
     [[nodiscard]] std::uint64_t pending() const { return pending_.size(); }
     [[nodiscard]] std::uint64_t client_side_failures() const { return failures_; }
 
+    // -- degradation statistics ---------------------------------------------
+    /// Endorsement-collection rounds that timed out.
+    [[nodiscard]] std::uint64_t endorse_timeouts() const { return endorse_timeouts_; }
+    /// Proposal rounds re-sent after a timeout.
+    [[nodiscard]] std::uint64_t endorse_retries() const { return endorse_retries_; }
+    /// Commit waits that timed out.
+    [[nodiscard]] std::uint64_t commit_timeouts() const { return commit_timeouts_; }
+    /// Envelopes re-broadcast after a commit timeout.
+    [[nodiscard]] std::uint64_t resubmissions() const { return resubmissions_; }
+
 private:
     struct PendingTx {
         ledger::Proposal proposal;
@@ -120,14 +172,31 @@ private:
         std::size_t expected_responses = 0;
         TimePoint submitted_at;
         TimePoint broadcast_at;  ///< when the envelope left for the OSN
+        // -- retry state (untouched unless retry.enabled) -------------------
+        std::uint32_t attempt = 0;          ///< proposal round; stale replies ignored
+        std::uint32_t endorse_retries = 0;
+        std::uint32_t resubmissions = 0;
+        bool verifying = false;  ///< verification queued; late replies/timeouts ignored
+        std::set<std::uint64_t> responded;  ///< peers heard this round (dup guard)
+        sim::TimerHandle endorse_timer;
+        sim::TimerHandle commit_timer;
+        /// Signed envelope kept for resubmission (retry mode only).
+        std::shared_ptr<const ledger::Envelope> envelope;
     };
 
-    void on_endorsement(TxId tx_id, peer::EndorsementResult result);
+    void send_proposals(PendingTx& pending);
+    void on_endorsement(TxId tx_id, std::uint32_t attempt, std::uint64_t peer_id,
+                        peer::EndorsementResult result);
+    void on_endorse_timeout(TxId tx_id, std::uint32_t attempt);
+    void begin_verification(TxId tx_id);
     void finalize_endorsements(PendingTx& pending);
     void broadcast_envelope(PendingTx& pending, std::vector<ledger::Endorsement> kept,
                             ledger::ReadWriteSet rwset);
+    void send_envelope(PendingTx& pending, bool resubmission);
+    void on_commit_timeout(TxId tx_id);
     void on_commit(const peer::CommitNotice& notice);
-    void fail_client_side(const PendingTx& pending, TxValidationCode code);
+    void fail_client_side(PendingTx& pending, TxValidationCode code);
+    [[nodiscard]] Duration retry_backoff(std::uint32_t retry_number);
 
     sim::Simulator& sim_;
     sim::Network& net_;
@@ -151,6 +220,10 @@ private:
     std::uint64_t submitted_ = 0;
     std::uint64_t completed_ = 0;
     std::uint64_t failures_ = 0;
+    std::uint64_t endorse_timeouts_ = 0;
+    std::uint64_t endorse_retries_ = 0;
+    std::uint64_t commit_timeouts_ = 0;
+    std::uint64_t resubmissions_ = 0;
 
     obs::TraceSink* trace_ = nullptr;
 };

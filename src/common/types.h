@@ -68,6 +68,12 @@ enum class TxValidationCode : std::uint8_t {
     kBadPriorityConsolidation,
     kBadSignature,
     kDuplicateTxId,
+    /// Client gave up collecting endorsements (retries exhausted) — a
+    /// graceful-degradation terminal state, not a validator verdict.
+    kEndorsementTimeout,
+    /// Client gave up waiting for a commit notification after exhausting
+    /// its resubmissions; the transaction may or may not have committed.
+    kCommitTimeout,
 };
 
 [[nodiscard]] constexpr bool is_valid(TxValidationCode c) {
@@ -86,6 +92,8 @@ inline std::string to_string(TxValidationCode c) {
     case TxValidationCode::kBadPriorityConsolidation: return "BAD_PRIORITY_CONSOLIDATION";
     case TxValidationCode::kBadSignature: return "BAD_SIGNATURE";
     case TxValidationCode::kDuplicateTxId: return "DUPLICATE_TXID";
+    case TxValidationCode::kEndorsementTimeout: return "ENDORSEMENT_TIMEOUT";
+    case TxValidationCode::kCommitTimeout: return "COMMIT_TIMEOUT";
     }
     return "UNKNOWN";
 }

@@ -9,6 +9,7 @@
 
 #include "client/client.h"
 #include "common/time.h"
+#include "fault/fault_spec.h"
 #include "orderer/osn.h"
 #include "peer/peer.h"
 #include "peer/priority_calculator.h"
@@ -45,6 +46,11 @@ struct NetworkConfig {
     orderer::OsnParams osn_params;
     client::ClientParams client_params;
     sim::LinkParams link_params;
+
+    /// Fault injection (DESIGN.md §11).  Inert by default: enabled() false
+    /// means no fault streams are split, no fault events are scheduled, and
+    /// the run is byte-identical to a pre-fault-subsystem build.
+    fault::FaultSpec faults;
 
     /// Total number of peers in the network.
     [[nodiscard]] std::uint32_t total_peers() const { return orgs * peers_per_org; }

@@ -1,9 +1,11 @@
 #include "core/fabric_network.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
 
+#include "fault/injector.h"
 #include "obs/metric_registry.h"
 #include "obs/trace.h"
 
@@ -121,8 +123,97 @@ void FabricNetwork::build() {
         osn->start();
     }
 
+    // Fault injection — gated so fault-free configs split no extra rng
+    // streams and schedule no extra events (byte-identity contract).
+    if (config_.faults.enabled()) {
+        if (config_.faults.messages.any()) {
+            net_->set_message_faults(config_.faults.messages, rng_.split("msgfault"));
+        }
+        fault_schedule_ = config_.faults.schedule;
+        if (config_.faults.profile) {
+            const std::vector<fault::ScheduledFault> generated =
+                fault::make_fault_schedule(*config_.faults.profile,
+                                           rng_.split("faultplan"), config_.osns,
+                                           config_.total_peers());
+            fault_schedule_.insert(fault_schedule_.end(), generated.begin(),
+                                   generated.end());
+        }
+        std::stable_sort(fault_schedule_.begin(), fault_schedule_.end(),
+                         [](const fault::ScheduledFault& a,
+                            const fault::ScheduledFault& b) { return a.at < b.at; });
+        for (const fault::ScheduledFault& f : fault_schedule_) {
+            sim_.schedule_after(f.at, [this, f] { apply_fault(f); });
+        }
+    }
+
     // Guard against runaway configurations (events scale with tx volume).
     sim_.set_event_limit(500'000'000);
+}
+
+void FabricNetwork::apply_fault(const fault::ScheduledFault& f) {
+    ++faults_applied_;
+    std::uint64_t actor = 0;
+    obs::ActorKind kind = obs::ActorKind::kOsn;
+    switch (f.kind) {
+    case fault::FaultKind::kOsnCrash: {
+        const std::size_t i = f.target % osns_.size();
+        osns_[i]->crash();
+        actor = i;
+        break;
+    }
+    case fault::FaultKind::kOsnRestart: {
+        const std::size_t i = f.target % osns_.size();
+        osns_[i]->restart();
+        actor = i;
+        break;
+    }
+    case fault::FaultKind::kEndorserDown: {
+        const std::size_t i = f.target % peers_.size();
+        peers_[i]->set_endorser_down(true);
+        actor = i;
+        kind = obs::ActorKind::kPeer;
+        break;
+    }
+    case fault::FaultKind::kEndorserUp: {
+        const std::size_t i = f.target % peers_.size();
+        peers_[i]->set_endorser_down(false);
+        actor = i;
+        kind = obs::ActorKind::kPeer;
+        break;
+    }
+    case fault::FaultKind::kEndorserSlow: {
+        const std::size_t i = f.target % peers_.size();
+        peers_[i]->set_endorse_slowdown(f.factor);
+        actor = i;
+        kind = obs::ActorKind::kPeer;
+        break;
+    }
+    case fault::FaultKind::kEndorserNormal: {
+        const std::size_t i = f.target % peers_.size();
+        peers_[i]->set_endorse_slowdown(1.0);
+        actor = i;
+        kind = obs::ActorKind::kPeer;
+        break;
+    }
+    case fault::FaultKind::kBrokerDown:
+        broker_->set_down(true);
+        kind = obs::ActorKind::kBroker;
+        break;
+    case fault::FaultKind::kBrokerUp:
+        broker_->set_down(false);
+        kind = obs::ActorKind::kBroker;
+        break;
+    }
+    if (trace_) {
+        obs::TraceEvent ev;
+        ev.at = sim_.now();
+        ev.type = obs::EventType::kFault;
+        ev.actor_kind = kind;
+        ev.actor = actor;
+        ev.value = static_cast<std::uint64_t>(f.kind);
+        ev.value2 = f.target;
+        trace_->emit(ev);
+    }
 }
 
 void FabricNetwork::set_tx_sink(std::function<void(const client::TxRecord&)> sink) {
@@ -132,6 +223,7 @@ void FabricNetwork::set_tx_sink(std::function<void(const client::TxRecord&)> sin
 }
 
 void FabricNetwork::set_trace_sink(obs::TraceSink* sink) {
+    trace_ = sink;  // kFault events
     for (const auto& c : clients_) c->set_trace(sink);
     for (const auto& p : peers_) p->set_trace(sink);
     for (const auto& o : osns_) o->set_trace(sink);
@@ -249,6 +341,47 @@ void FabricNetwork::register_metrics(obs::MetricRegistry& registry) {
         }
         return total;
     });
+    // Degradation gauges (appended — tests look gauges up by name, so new
+    // entries never shift existing series).  All zero in fault-free runs.
+    registry.add_gauge("endorse_timeouts", [this] {
+        double total = 0.0;
+        for (const auto& c : clients_) total += static_cast<double>(c->endorse_timeouts());
+        return total;
+    });
+    registry.add_gauge("endorse_retries", [this] {
+        double total = 0.0;
+        for (const auto& c : clients_) total += static_cast<double>(c->endorse_retries());
+        return total;
+    });
+    registry.add_gauge("resubmissions", [this] {
+        double total = 0.0;
+        for (const auto& c : clients_) total += static_cast<double>(c->resubmissions());
+        return total;
+    });
+    registry.add_gauge("commit_timeouts", [this] {
+        double total = 0.0;
+        for (const auto& c : clients_) total += static_cast<double>(c->commit_timeouts());
+        return total;
+    });
+    registry.add_gauge("osn_crashes", [this] {
+        double total = 0.0;
+        for (const auto& o : osns_) total += static_cast<double>(o->crashes());
+        return total;
+    });
+    registry.add_gauge("osn_restarts", [this] {
+        double total = 0.0;
+        for (const auto& o : osns_) total += static_cast<double>(o->restarts());
+        return total;
+    });
+    registry.add_gauge("messages_dropped", [this] {
+        return static_cast<double>(net_->messages_dropped());
+    });
+    registry.add_gauge("messages_duplicated", [this] {
+        return static_cast<double>(net_->messages_duplicated());
+    });
+    registry.add_gauge("broker_deferred_appends", [this] {
+        return static_cast<double>(broker_->deferred_appends_total());
+    });
 }
 
 void FabricNetwork::update_block_policy(const policy::BlockFormationPolicy& new_policy) {
@@ -286,6 +419,22 @@ bool FabricNetwork::states_identical() const {
 bool FabricNetwork::osn_blocks_identical() const {
     for (std::size_t i = 1; i < osns_.size(); ++i) {
         if (osns_[i]->block_hashes() != osns_[0]->block_hashes()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool FabricNetwork::osn_blocks_prefix_consistent() const {
+    const std::vector<crypto::Digest>* longest = &osns_[0]->block_hashes();
+    for (std::size_t i = 1; i < osns_.size(); ++i) {
+        if (osns_[i]->block_hashes().size() > longest->size()) {
+            longest = &osns_[i]->block_hashes();
+        }
+    }
+    for (const auto& o : osns_) {
+        const std::vector<crypto::Digest>& h = o->block_hashes();
+        if (!std::equal(h.begin(), h.end(), longest->begin())) {
             return false;
         }
     }

@@ -22,6 +22,7 @@
 #include "core/config.h"
 #include "core/metrics.h"
 #include "crypto/signature.h"
+#include "fault/fault_spec.h"
 #include "mq/broker.h"
 #include "orderer/osn.h"
 #include "peer/peer.h"
@@ -53,6 +54,7 @@ public:
     [[nodiscard]] const chaincode::Registry& registry() const { return registry_; }
     [[nodiscard]] const crypto::KeyStore& keys() const { return keys_; }
     [[nodiscard]] mq::Broker<orderer::OrderedRecord>& broker() { return *broker_; }
+    [[nodiscard]] sim::Network& network() { return *net_; }
 
     /// Registers a completion callback wired to every client.
     void set_tx_sink(std::function<void(const client::TxRecord&)> sink);
@@ -88,9 +90,21 @@ public:
     [[nodiscard]] bool states_identical() const;
     /// True iff every OSN produced the identical block-hash sequence.
     [[nodiscard]] bool osn_blocks_identical() const;
+    /// Weaker form for runs where an OSN is down at drain time: every OSN's
+    /// block-hash sequence must be a prefix of the longest one (surviving
+    /// OSNs emit byte-identical sequences; a crashed one just stopped early).
+    [[nodiscard]] bool osn_blocks_prefix_consistent() const;
+
+    /// Faults applied so far (scheduled component faults, not per-message).
+    [[nodiscard]] std::uint64_t faults_applied() const { return faults_applied_; }
+    /// The resolved fault schedule (explicit + profile-generated, sorted).
+    [[nodiscard]] const std::vector<fault::ScheduledFault>& fault_schedule() const {
+        return fault_schedule_;
+    }
 
 private:
     void build();
+    void apply_fault(const fault::ScheduledFault& f);
 
     NetworkConfig config_;
     sim::Simulator sim_;
@@ -103,6 +117,10 @@ private:
     std::vector<std::unique_ptr<peer::Peer>> peers_;
     std::vector<std::unique_ptr<orderer::Osn>> osns_;
     std::vector<std::unique_ptr<client::Client>> clients_;
+
+    std::vector<fault::ScheduledFault> fault_schedule_;
+    std::uint64_t faults_applied_ = 0;
+    obs::TraceSink* trace_ = nullptr;  ///< for kFault events
 };
 
 }  // namespace fl::core

@@ -31,6 +31,21 @@ void MetricsCollector::record(const client::TxRecord& record) {
     first_submit_ = std::min(first_submit_, record.submitted_at);
     last_complete_ = std::max(last_complete_, record.completed_at);
 
+    // Degradation counters cover every terminal record — committed, aborted
+    // and failed alike — so they must accumulate before the early returns.
+    if (record.endorse_retries > 0 || record.resubmissions > 0) {
+        endorse_retries_total_ += record.endorse_retries;
+        resubmissions_total_ += record.resubmissions;
+        DegradationCounts& d = degradation_by_chaincode_[record.chaincode];
+        d.endorse_retries += record.endorse_retries;
+        d.resubmissions += record.resubmissions;
+    }
+    if (record.code == TxValidationCode::kEndorsementTimeout) {
+        ++endorse_timeout_failures_;
+    } else if (record.code == TxValidationCode::kCommitTimeout) {
+        ++commit_timeout_failures_;
+    }
+
     if (record.failed_before_ordering) {
         ++client_failures_;
         return;
@@ -75,6 +90,27 @@ void write_metrics_json(std::ostream& os, const MetricsCollector& metrics) {
     json.field("committed_valid", metrics.committed_valid());
     json.field("committed_invalid", metrics.committed_invalid());
     json.field("client_failures", metrics.client_failures());
+
+    // Degradation block: always present (zeros in fault-free runs) so the
+    // schema is stable across fault and no-fault configurations.
+    json.key("degradation");
+    json.begin_object();
+    json.field("endorse_retries", metrics.endorse_retries_total());
+    json.field("resubmissions", metrics.resubmissions_total());
+    json.field("endorse_timeout_failures", metrics.endorse_timeout_failures());
+    json.field("commit_timeout_failures", metrics.commit_timeout_failures());
+    json.key("by_chaincode");
+    json.begin_object();
+    for (const auto& [name, d] : metrics.degradation_by_chaincode()) {
+        json.key(name);
+        json.begin_object();
+        json.field("endorse_retries", d.endorse_retries);
+        json.field("resubmissions", d.resubmissions);
+        json.end_object();
+    }
+    json.end_object();
+    json.end_object();
+
     json.field("throughput_tps", metrics.throughput_tps());
 
     json.key("latency");

@@ -20,6 +20,13 @@ struct PhaseStats {
     RunningStats notification;
 };
 
+/// Graceful-degradation counters (DESIGN.md §11): how much client-side
+/// retry work a class of transactions needed.  All zero in fault-free runs.
+struct DegradationCounts {
+    std::uint64_t endorse_retries = 0;
+    std::uint64_t resubmissions = 0;
+};
+
 class MetricsCollector {
 public:
     /// Records one completed transaction.
@@ -47,6 +54,27 @@ public:
         return valid_ + invalid_ + client_failures_;
     }
 
+    // -- degradation accounting (counted for every record, including
+    // client-side failures) -------------------------------------------------
+    [[nodiscard]] std::uint64_t endorse_retries_total() const {
+        return endorse_retries_total_;
+    }
+    [[nodiscard]] std::uint64_t resubmissions_total() const {
+        return resubmissions_total_;
+    }
+    /// Submissions that gave up collecting endorsements.
+    [[nodiscard]] std::uint64_t endorse_timeout_failures() const {
+        return endorse_timeout_failures_;
+    }
+    /// Submissions that gave up waiting for a commit notification.
+    [[nodiscard]] std::uint64_t commit_timeout_failures() const {
+        return commit_timeout_failures_;
+    }
+    [[nodiscard]] const std::map<std::string, DegradationCounts>&
+    degradation_by_chaincode() const {
+        return degradation_by_chaincode_;
+    }
+
     /// Mean end-to-end latency (seconds) of committed transactions.
     [[nodiscard]] double avg_latency() const { return overall_.mean(); }
 
@@ -68,9 +96,14 @@ private:
     std::map<ClientId, Histogram> by_client_;
     std::map<std::string, Histogram> by_chaincode_;
     std::map<PriorityLevel, PhaseStats> phases_by_priority_;
+    std::map<std::string, DegradationCounts> degradation_by_chaincode_;
     std::uint64_t valid_ = 0;
     std::uint64_t invalid_ = 0;
     std::uint64_t client_failures_ = 0;
+    std::uint64_t endorse_retries_total_ = 0;
+    std::uint64_t resubmissions_total_ = 0;
+    std::uint64_t endorse_timeout_failures_ = 0;
+    std::uint64_t commit_timeout_failures_ = 0;
     TimePoint first_submit_ = TimePoint::max();
     TimePoint last_complete_;
 };

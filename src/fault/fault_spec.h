@@ -1,0 +1,81 @@
+// Deterministic fault-injection vocabulary.
+//
+// A FaultSpec describes *what goes wrong* in a run: message-level faults on
+// the unreliable transport (drop / duplicate / extra delay), plus a schedule
+// of component faults (OSN crash + restart, endorser outage / slow-down,
+// broker unavailability windows).  The schedule can be written out
+// explicitly (ScheduledFault list) or generated from rate parameters
+// (FaultProfile) by the seeded injector — either way the whole chaos run is
+// a pure function of (config, seed): fault times come from the simulated
+// clock and fault decisions from dedicated SplitMix64-derived Rng streams,
+// so the same spec and seed reproduce the identical fault timeline at any
+// --threads value (DESIGN.md §11).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/network.h"
+
+namespace fl::fault {
+
+/// Component fault taxonomy.  Every "down" kind has a matching "up" kind so
+/// schedules can always pair outage with recovery.
+enum class FaultKind : std::uint8_t {
+    kOsnCrash = 0,    ///< OSN loses volatile state; target = OSN index
+    kOsnRestart,      ///< OSN rejoins, replays its topics from offset 0
+    kEndorserDown,    ///< peer stops answering proposals; target = peer index
+    kEndorserUp,      ///< peer answers proposals again
+    kEndorserSlow,    ///< peer endorsement CPU cost scaled by `factor`
+    kEndorserNormal,  ///< peer endorsement cost back to configured value
+    kBrokerDown,      ///< broker defers all appends (cluster outage)
+    kBrokerUp,        ///< broker flushes deferred appends, resumes
+};
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One fault occurrence, anchored in simulated time.
+struct ScheduledFault {
+    Duration at;                ///< offset from simulation start
+    FaultKind kind = FaultKind::kOsnCrash;
+    std::uint32_t target = 0;   ///< component index (mod component count)
+    double factor = 1.0;        ///< slow-down multiplier for kEndorserSlow
+};
+
+/// Rate parameters for the seeded injector.  `expected_*` are expectations,
+/// not hard counts: the injector realises floor(e) events plus one more with
+/// probability frac(e), so sweeping a rate produces smoothly varying
+/// schedules.  Every outage is paired with its recovery (which may land
+/// past `horizon` — recovery is never dropped).
+struct FaultProfile {
+    Duration horizon = Duration::seconds(30);  ///< faults start within [0, horizon)
+
+    double expected_osn_crashes = 0.0;
+    Duration osn_downtime_mean = Duration::seconds(3);
+
+    double expected_endorser_outages = 0.0;
+    Duration endorser_downtime_mean = Duration::seconds(2);
+
+    double expected_endorser_slowdowns = 0.0;
+    Duration endorser_slow_mean = Duration::seconds(2);
+    double endorser_slow_factor = 4.0;
+
+    double expected_broker_outages = 0.0;
+    Duration broker_outage_mean = Duration::millis(500);
+};
+
+/// Everything fault-related in one place; hangs off NetworkConfig.
+/// Default-constructed it is inert — enabled() false, zero overhead, and a
+/// fault-free run is byte-identical to a build without the subsystem.
+struct FaultSpec {
+    sim::MessageFaultParams messages;       ///< unreliable-transport faults
+    std::vector<ScheduledFault> schedule;   ///< explicit fault plan
+    std::optional<FaultProfile> profile;    ///< seeded random plan (appended)
+
+    [[nodiscard]] bool enabled() const {
+        return messages.any() || !schedule.empty() || profile.has_value();
+    }
+};
+
+}  // namespace fl::fault

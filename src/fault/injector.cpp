@@ -1,0 +1,109 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+namespace fl::fault {
+
+const char* to_string(FaultKind kind) {
+    switch (kind) {
+    case FaultKind::kOsnCrash: return "osn_crash";
+    case FaultKind::kOsnRestart: return "osn_restart";
+    case FaultKind::kEndorserDown: return "endorser_down";
+    case FaultKind::kEndorserUp: return "endorser_up";
+    case FaultKind::kEndorserSlow: return "endorser_slow";
+    case FaultKind::kEndorserNormal: return "endorser_normal";
+    case FaultKind::kBrokerDown: return "broker_down";
+    case FaultKind::kBrokerUp: return "broker_up";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/// floor(expected) events plus one more with probability frac(expected) —
+/// exactly one chance() draw per category, so the stream layout is fixed.
+std::uint64_t realise_count(double expected, Rng& rng) {
+    if (expected <= 0.0) {
+        // Still burn the draw: the stream position after each category must
+        // not depend on the rate values, only on the profile's shape.
+        (void)rng.chance(0.0);
+        return 0;
+    }
+    const double whole = std::floor(expected);
+    const double frac = expected - whole;
+    return static_cast<std::uint64_t>(whole) + (rng.chance(frac) ? 1u : 0u);
+}
+
+struct OutageDraws {
+    Duration start;
+    Duration duration;
+    std::uint32_t target;
+};
+
+/// Fixed draw order per outage: start, duration, target.
+OutageDraws draw_outage(const FaultProfile& profile, Duration mean,
+                        std::uint32_t components, Rng& rng) {
+    OutageDraws d;
+    d.start = Duration::from_seconds(
+        rng.uniform(0.0, profile.horizon.as_seconds()));
+    d.duration = rng.exponential_duration(mean);
+    d.target = static_cast<std::uint32_t>(rng.next_below(components));
+    return d;
+}
+
+}  // namespace
+
+std::vector<ScheduledFault> make_fault_schedule(const FaultProfile& profile,
+                                                Rng rng, std::uint32_t osns,
+                                                std::uint32_t peers) {
+    std::vector<ScheduledFault> out;
+
+    const std::uint64_t crashes = realise_count(profile.expected_osn_crashes, rng);
+    for (std::uint64_t i = 0; i < crashes && osns > 0; ++i) {
+        const OutageDraws d =
+            draw_outage(profile, profile.osn_downtime_mean, osns, rng);
+        out.push_back({d.start, FaultKind::kOsnCrash, d.target, 1.0});
+        out.push_back({d.start + d.duration, FaultKind::kOsnRestart, d.target, 1.0});
+    }
+
+    const std::uint64_t outages =
+        realise_count(profile.expected_endorser_outages, rng);
+    for (std::uint64_t i = 0; i < outages && peers > 0; ++i) {
+        const OutageDraws d =
+            draw_outage(profile, profile.endorser_downtime_mean, peers, rng);
+        out.push_back({d.start, FaultKind::kEndorserDown, d.target, 1.0});
+        out.push_back({d.start + d.duration, FaultKind::kEndorserUp, d.target, 1.0});
+    }
+
+    const std::uint64_t slowdowns =
+        realise_count(profile.expected_endorser_slowdowns, rng);
+    for (std::uint64_t i = 0; i < slowdowns && peers > 0; ++i) {
+        const OutageDraws d =
+            draw_outage(profile, profile.endorser_slow_mean, peers, rng);
+        out.push_back({d.start, FaultKind::kEndorserSlow, d.target,
+                       profile.endorser_slow_factor});
+        out.push_back(
+            {d.start + d.duration, FaultKind::kEndorserNormal, d.target, 1.0});
+    }
+
+    const std::uint64_t broker = realise_count(profile.expected_broker_outages, rng);
+    for (std::uint64_t i = 0; i < broker; ++i) {
+        const OutageDraws d =
+            draw_outage(profile, profile.broker_outage_mean, 1, rng);
+        out.push_back({d.start, FaultKind::kBrokerDown, 0, 1.0});
+        out.push_back({d.start + d.duration, FaultKind::kBrokerUp, 0, 1.0});
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const ScheduledFault& a, const ScheduledFault& b) {
+                  return std::tuple(a.at.as_nanos(), static_cast<int>(a.kind),
+                                    a.target) <
+                         std::tuple(b.at.as_nanos(), static_cast<int>(b.kind),
+                                    b.target);
+              });
+    return out;
+}
+
+}  // namespace fl::fault

@@ -1,0 +1,24 @@
+// Seeded fault-schedule generator: FaultProfile -> sorted ScheduledFault
+// list.  Pure function of (profile, rng state, component counts) — the
+// simulator is not involved, so schedules can be generated, inspected and
+// asserted on in isolation (tests/fault/injector_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/fault_spec.h"
+
+namespace fl::fault {
+
+/// Realises `profile` into a concrete schedule.  Each outage draws a start
+/// uniform in [0, horizon), a duration from the exponential with the
+/// configured mean, and a target uniform over the component count; the
+/// matching recovery event is always emitted (possibly past the horizon).
+/// The result is sorted by (time, kind, target) so applying it in order is
+/// deterministic even when two faults coincide.
+[[nodiscard]] std::vector<ScheduledFault> make_fault_schedule(
+    const FaultProfile& profile, Rng rng, std::uint32_t osns, std::uint32_t peers);
+
+}  // namespace fl::fault

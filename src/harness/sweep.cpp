@@ -1,5 +1,6 @@
 #include "harness/sweep.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -188,16 +189,41 @@ std::uint64_t parse_u64(const std::string& flag, const char* raw,
         std::cerr << flag << ": missing value\n";
         usage(bench_name, 2);
     }
-    char* end = nullptr;
-    const std::uint64_t v = std::strtoull(raw, &end, 10);
-    if (end == raw || *end != '\0') {
-        std::cerr << flag << ": not a number: " << raw << "\n";
+    const std::optional<std::uint64_t> v = parse_cli_u64(raw);
+    if (!v) {
+        std::cerr << flag << ": not a non-negative integer: " << raw << "\n";
+        usage(bench_name, 2);
+    }
+    return *v;
+}
+
+/// For counts that must be >= 1 (--threads/--runs/--txs): zero — including
+/// a "-1" the old strtoull parser would have wrapped to huge — is an error.
+std::uint64_t parse_positive_u64(const std::string& flag, const char* raw,
+                                 const std::string& bench_name) {
+    const std::uint64_t v = parse_u64(flag, raw, bench_name);
+    if (v == 0) {
+        std::cerr << flag << ": must be >= 1\n";
         usage(bench_name, 2);
     }
     return v;
 }
 
 }  // namespace
+
+std::optional<std::uint64_t> parse_cli_u64(const char* raw) {
+    if (raw == nullptr || *raw == '\0') return std::nullopt;
+    // Digits only: strtoull would silently accept "-1" (wrapping to 2^64-1),
+    // "0x10", leading whitespace and "12abc" prefixes.
+    for (const char* p = raw; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9') return std::nullopt;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(raw, &end, 10);
+    if (errno == ERANGE || end == raw || *end != '\0') return std::nullopt;
+    return static_cast<std::uint64_t>(v);
+}
 
 SweepCli parse_sweep_cli(int argc, char** argv, std::uint64_t default_seed,
                          const std::string& bench_name) {
@@ -212,17 +238,15 @@ SweepCli parse_sweep_cli(int argc, char** argv, std::uint64_t default_seed,
         if (arg == "--help" || arg == "-h") {
             usage(bench_name, 0);
         } else if (arg == "--threads") {
-            cli.threads = static_cast<unsigned>(parse_u64(arg, next(), bench_name));
+            cli.threads =
+                static_cast<unsigned>(parse_positive_u64(arg, next(), bench_name));
         } else if (arg == "--seed") {
             cli.base_seed = parse_u64(arg, next(), bench_name);
         } else if (arg == "--runs") {
-            cli.runs = static_cast<unsigned>(parse_u64(arg, next(), bench_name));
-            if (*cli.runs == 0) {
-                std::cerr << "--runs: must be >= 1\n";
-                usage(bench_name, 2);
-            }
+            cli.runs =
+                static_cast<unsigned>(parse_positive_u64(arg, next(), bench_name));
         } else if (arg == "--txs") {
-            cli.total_txs = parse_u64(arg, next(), bench_name);
+            cli.total_txs = parse_positive_u64(arg, next(), bench_name);
         } else if (arg == "--json") {
             const char* path = next();
             if (path == nullptr) {

@@ -100,11 +100,18 @@ struct SweepCli {
     }
 };
 
+/// Strict base-10 unsigned parser for CLI values: digits only — no sign
+/// (so "-1" is rejected instead of wrapping), no whitespace, no trailing
+/// garbage — and range-checked.  Returns nullopt on any defect.
+[[nodiscard]] std::optional<std::uint64_t> parse_cli_u64(const char* raw);
+
 /// Parses --threads/--seed/--json/--no-json/--runs/--txs plus the
 /// observability flags --trace/--timeseries/--trace-point/--log-level
 /// (--help prints usage and exits; an unknown --log-level name is rejected
-/// at the CLI).  `bench_name` sets the default JSON path
-/// (BENCH_local_<name>.json) and `default_seed` the default --seed.
+/// at the CLI).  Malformed numbers and zero/negative --threads/--runs/--txs
+/// print a clear message and exit with code 2.  `bench_name` sets the
+/// default JSON path (BENCH_local_<name>.json) and `default_seed` the
+/// default --seed.
 [[nodiscard]] SweepCli parse_sweep_cli(int argc, char** argv,
                                        std::uint64_t default_seed,
                                        const std::string& bench_name);

@@ -9,9 +9,17 @@
 //      same for everyone because it is fixed at append time.
 //
 // The broker lives at a network node; produce requests and consumer pushes
-// pay network delay.  Consumers receive pushes that may be reordered by
-// network jitter, so each Subscription reorders by offset before exposing
-// records — consumption order therefore always equals log order.
+// pay network delay over the *reliable* transport (Kafka runs on TCP — a
+// produced record is never lost or duplicated, only delayed).  Consumers
+// receive pushes that may be reordered by network jitter, so each
+// Subscription reorders by offset before exposing records — consumption
+// order therefore always equals log order.
+//
+// Fault injection: `set_down(true)` opens an unavailability window.  Appends
+// that arrive while the broker is down are deferred in arrival order and
+// flushed when the window closes — the log stays total-ordered and every
+// consumer still observes the same sequence, records are just late (the
+// Kafka-cluster-outage model: producers block/retry, nothing is lost).
 #pragma once
 
 #include <cstdint>
@@ -138,14 +146,16 @@ public:
                  T value) {
         TopicLog& log = topic_ref(topic);
         const std::size_t wire = size_bytes + params_.record_overhead_bytes;
-        net_.send(producer, params_.node, wire,
-                  [this, &log, wire, value = std::move(value)]() mutable {
-                      append_and_fanout(log, wire, std::move(value));
-                  });
+        net_.send_reliable(producer, params_.node, wire,
+                           [this, &log, wire, value = std::move(value)]() mutable {
+                               append_and_fanout(log, wire, std::move(value));
+                           });
     }
 
     /// Appends without network delay — used by unit tests that exercise log
-    /// semantics in isolation.
+    /// semantics in isolation.  During an unavailability window the append
+    /// is deferred like any other; the returned offset is where the record
+    /// would land if the broker were up.
     Offset produce_local(const std::string& topic, std::size_t size_bytes, T value) {
         TopicLog& log = topic_ref(topic);
         const Offset off = static_cast<Offset>(log.records.size());
@@ -154,17 +164,68 @@ public:
         return off;
     }
 
-    /// Subscribes a consumer at `consumer_node` from the beginning of the
-    /// topic.  Existing records are replayed (with network delay).
+    /// Subscribes a consumer at `consumer_node` starting at `from_offset`
+    /// (default: the beginning of the topic).  Records from `from_offset`
+    /// onward are replayed (with network delay).  Throws std::out_of_range
+    /// when `from_offset` lies past the end of the topic — requesting a
+    /// position the log has never reached is a caller bug, not UB.
     std::shared_ptr<Subscription<T>> subscribe(const std::string& topic,
-                                               NodeId consumer_node) {
+                                               NodeId consumer_node,
+                                               Offset from_offset = 0) {
         TopicLog& log = topic_ref(topic);
+        if (from_offset > log.records.size()) {
+            throw std::out_of_range("Broker::subscribe: offset " +
+                                    std::to_string(from_offset) + " past end of " +
+                                    topic + " (size " +
+                                    std::to_string(log.records.size()) + ")");
+        }
         auto sub = std::make_shared<Subscription<T>>();
+        sub->next_offset_ = from_offset;
         log.subscribers.push_back(Subscriber{consumer_node, sub});
-        for (Offset off = 0; off < log.records.size(); ++off) {
+        for (Offset off = from_offset; off < log.records.size(); ++off) {
             push_to(log.subscribers.back(), off, log.records[off], log.record_sizes[off]);
         }
         return sub;
+    }
+
+    /// Random-access read of one committed record.  Throws
+    /// std::invalid_argument for an unknown topic and std::out_of_range for
+    /// an offset the log has not reached.
+    [[nodiscard]] const T& read(const std::string& topic, Offset offset) const {
+        const auto it = topics_.find(topic);
+        if (it == topics_.end()) {
+            throw std::invalid_argument("Broker: unknown topic " + topic);
+        }
+        if (offset >= it->second.records.size()) {
+            throw std::out_of_range("Broker::read: offset " + std::to_string(offset) +
+                                    " past end of " + topic + " (size " +
+                                    std::to_string(it->second.records.size()) + ")");
+        }
+        return it->second.records[offset];
+    }
+
+    /// Opens (true) or closes (false) an unavailability window.  Closing
+    /// flushes every deferred append in its original arrival order, so the
+    /// post-outage log is deterministic.
+    void set_down(bool down) {
+        if (down_ == down) return;
+        down_ = down;
+        if (down) {
+            ++outages_;
+            return;
+        }
+        std::vector<Deferred> flush;
+        flush.swap(deferred_);
+        for (Deferred& d : flush) {
+            append_and_fanout(topic_ref(d.topic), d.wire_size, std::move(d.value));
+        }
+    }
+
+    [[nodiscard]] bool is_down() const { return down_; }
+    [[nodiscard]] std::uint64_t outages() const { return outages_; }
+    /// Appends that arrived during unavailability windows (lifetime total).
+    [[nodiscard]] std::uint64_t deferred_appends_total() const {
+        return deferred_total_;
     }
 
     /// Number of records appended to `topic` so far.
@@ -185,7 +246,9 @@ public:
 private:
     struct Subscriber {
         NodeId node;
-        std::shared_ptr<Subscription<T>> sub;
+        /// Weak so a dropped consumer (e.g. a crashed OSN's generator) stops
+        /// receiving pushes; expired entries are pruned on the next append.
+        std::weak_ptr<Subscription<T>> sub;
     };
 
     struct TopicLog {
@@ -193,6 +256,12 @@ private:
         std::vector<T> records;
         std::vector<std::size_t> record_sizes;
         std::vector<Subscriber> subscribers;
+    };
+
+    struct Deferred {
+        std::string topic;
+        std::size_t wire_size;
+        T value;
     };
 
     TopicLog& topic_ref(const std::string& name) {
@@ -204,12 +273,19 @@ private:
     }
 
     void append_and_fanout(TopicLog& log, std::size_t wire_size, T value) {
+        if (down_) {
+            deferred_.push_back(Deferred{log.name, wire_size, std::move(value)});
+            ++deferred_total_;
+            return;
+        }
         const Offset off = static_cast<Offset>(log.records.size());
         log.records.push_back(std::move(value));
         log.record_sizes.push_back(wire_size);
         FL_TRACE("mq: " << log.name << " append @" << off << " (" << wire_size
                         << " B, " << log.subscribers.size() << " subscribers)");
         if (on_append_) on_append_(log.name, off, log.records.back(), wire_size);
+        std::erase_if(log.subscribers,
+                      [](const Subscriber& s) { return s.sub.expired(); });
         for (Subscriber& s : log.subscribers) {
             push_to(s, off, log.records.back(), wire_size);
         }
@@ -218,7 +294,7 @@ private:
     void push_to(const Subscriber& s, Offset off, const T& value, std::size_t wire_size) {
         // Weak pointer so a dropped subscription doesn't dangle.
         std::weak_ptr<Subscription<T>> weak = s.sub;
-        net_.send(params_.node, s.node, wire_size, [weak, off, value] {
+        net_.send_reliable(params_.node, s.node, wire_size, [weak, off, value] {
             if (auto sub = weak.lock()) sub->on_push(off, value);
         });
     }
@@ -228,6 +304,10 @@ private:
     BrokerParams params_;
     AppendHook on_append_;
     std::unordered_map<std::string, TopicLog> topics_;
+    bool down_ = false;
+    std::uint64_t outages_ = 0;
+    std::uint64_t deferred_total_ = 0;
+    std::vector<Deferred> deferred_;
 };
 
 }  // namespace fl::mq

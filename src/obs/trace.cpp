@@ -24,6 +24,10 @@ const char* to_string(EventType type) {
     case EventType::kAbort: return "abort";
     case EventType::kComplete: return "complete";
     case EventType::kClientFail: return "client_fail";
+    case EventType::kEndorseTimeout: return "endorse_timeout";
+    case EventType::kRetry: return "retry";
+    case EventType::kResubmit: return "resubmit";
+    case EventType::kFault: return "fault";
     }
     return "unknown";
 }

@@ -48,6 +48,10 @@ enum class EventType : std::uint8_t {
     kAbort,            ///< tx invalidated at commit          (peer, tx, priority, block, code=reason)
     kComplete,         ///< commit notice reached the client  (client, tx, priority, block, code)
     kClientFail,       ///< failed before ordering            (client, tx, code)
+    kEndorseTimeout,   ///< endorsement collection timed out  (client, tx, value=attempt)
+    kRetry,            ///< client re-sent the proposals      (client, tx, value=new attempt)
+    kResubmit,         ///< envelope re-broadcast to an OSN   (client, tx, value=resubmission #)
+    kFault,            ///< injected fault applied            (actor by kind, value=fault::FaultKind, value2=target)
 };
 [[nodiscard]] const char* to_string(EventType type);
 

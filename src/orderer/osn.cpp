@@ -62,7 +62,41 @@ void Osn::set_trace(obs::TraceSink* sink) {
     if (generator_) generator_->set_trace(trace_, id_.value());
 }
 
+void Osn::crash() {
+    if (!alive_) return;
+    alive_ = false;
+    ++epoch_;
+    ++crashes_;
+    // Volatile state dies with the process.  Destroying the generator drops
+    // its subscriptions; the broker prunes the expired weak references, so
+    // no more records are pushed to this OSN until it re-subscribes.
+    generator_.reset();
+    last_hash_.reset();
+    FL_DEBUG("osn " << id_.value() << ": crashed");
+}
+
+void Osn::restart() {
+    if (alive_) return;
+    alive_ = true;
+    ++epoch_;
+    ++restarts_;
+    // The pre-crash chain becomes the replay expectation: Kafka-style
+    // recovery re-consumes every topic from offset 0 and must cut the exact
+    // same blocks, because cuts are determined by log positions alone.
+    replay_expected_ = std::move(block_hashes_);
+    block_hashes_.clear();
+    FL_DEBUG("osn " << id_.value() << ": restarting, replaying "
+                    << replay_expected_.size() << " blocks");
+    start();
+}
+
 void Osn::broadcast(std::shared_ptr<const ledger::Envelope> envelope) {
+    if (!alive_) {
+        // A real crashed process never sees the request; the client's
+        // resubmission logic (or a different OSN) must pick it up.
+        ++dropped_broadcasts_;
+        return;
+    }
     ++received_;
     Duration cost;
     if (channel_.priority_enabled) {
@@ -72,7 +106,9 @@ void Osn::broadcast(std::shared_ptr<const ledger::Envelope> envelope) {
     } else {
         cost = params_.ingest_per_tx_cost;
     }
-    ingest_cpu_.submit(cost, [this, envelope = std::move(envelope)]() mutable {
+    ingest_cpu_.submit(cost, [this, epoch = epoch_,
+                              envelope = std::move(envelope)]() mutable {
+        if (epoch != epoch_) return;  // crashed while this was in flight
         PriorityLevel level = 0;
         if (channel_.priority_enabled) {
             const ConsolidationResult result = consolidator_->consolidate(*envelope);
@@ -122,9 +158,14 @@ void Osn::send_ttc(BlockNumber block) {
 }
 
 void Osn::on_cut(CutResult result) {
-    for (std::size_t i = 0; i < result.per_level_counts.size() && i < level_totals_.size();
-         ++i) {
-        level_totals_[i] += result.per_level_counts[i];
+    // High-water guard: a post-restart replay re-cuts blocks 0..N, whose
+    // per-level counts were already recorded before the crash.
+    if (result.number >= levels_counted_) {
+        for (std::size_t i = 0;
+             i < result.per_level_counts.size() && i < level_totals_.size(); ++i) {
+            level_totals_[i] += result.per_level_counts[i];
+        }
+        levels_counted_ = result.number + 1;
     }
 
     Duration cost = params_.assembly_overhead_cost +
@@ -133,7 +174,8 @@ void Osn::on_cut(CutResult result) {
     if (channel_.priority_enabled) {
         cost += params_.multiqueue_per_block_cost;
     }
-    assembly_cpu_.submit(cost, [this, result = std::move(result)] {
+    assembly_cpu_.submit(cost, [this, epoch = epoch_, result = std::move(result)] {
+        if (epoch != epoch_) return;  // crashed while this was in flight
         std::vector<ledger::Envelope> txs;
         txs.reserve(result.transactions.size());
         for (const auto& env : result.transactions) {
@@ -146,10 +188,24 @@ void Osn::on_cut(CutResult result) {
         last_hash_ = block.header.hash();
         block_hashes_.push_back(*last_hash_);
 
+        if (result.number < replay_expected_.size()) {
+            // Replaying a block cut before the crash: the log determines the
+            // cut, so the hash must match; peers already have it, so it is
+            // not re-delivered (they would reject the duplicate anyway).
+            if (*last_hash_ != replay_expected_[result.number]) {
+                ++replay_hash_mismatches_;
+                FL_DEBUG("osn " << id_.value() << ": replay hash mismatch at block "
+                                << result.number);
+            }
+            return;
+        }
+
         auto shared = std::make_shared<const ledger::Block>(std::move(block));
         for (const PeerRoute& route : peers_) {
-            net_.send(node_, route.node, shared->wire_size(),
-                      [deliver = route.deliver, shared] { deliver(shared); });
+            // Block delivery models an ordered reliable stream (gRPC Deliver)
+            // — exempt from injected message faults.
+            net_.send_reliable(node_, route.node, shared->wire_size(),
+                               [deliver = route.deliver, shared] { deliver(shared); });
         }
         ++blocks_delivered_;
     });

@@ -91,6 +91,19 @@ public:
     /// Topics must already exist on the broker.
     void start();
 
+    /// Fault injection: crash the OSN.  All volatile ordering state (block
+    /// generator, consume positions, chained hashes) is lost; the broker log
+    /// — the durable state in the Kafka design — survives.  In-flight CPU
+    /// work is invalidated via an epoch counter.  Idempotent.
+    void crash();
+
+    /// Fault injection: restart after a crash.  Re-subscribes to every topic
+    /// from offset 0 and replays the log, Kafka-style: cuts are determined
+    /// by log positions alone, so the rebuilt chain must match what was cut
+    /// before the crash (verified against the pre-crash hashes; replayed
+    /// blocks are not re-delivered to peers).  Idempotent.
+    void restart();
+
     /// Client entry point (called after client->OSN network delay).
     void broadcast(std::shared_ptr<const ledger::Envelope> envelope);
 
@@ -116,6 +129,16 @@ public:
     [[nodiscard]] NodeId node() const { return node_; }
 
     // -- statistics ---------------------------------------------------------
+    [[nodiscard]] bool alive() const { return alive_; }
+    [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+    [[nodiscard]] std::uint64_t restarts() const { return restarts_; }
+    /// Envelopes that arrived while crashed (clients must resubmit).
+    [[nodiscard]] std::uint64_t dropped_broadcasts() const { return dropped_broadcasts_; }
+    /// Replayed blocks whose hash differed from the pre-crash chain — any
+    /// non-zero value is a determinism bug (asserted by the chaos tests).
+    [[nodiscard]] std::uint64_t replay_hash_mismatches() const {
+        return replay_hash_mismatches_;
+    }
     [[nodiscard]] std::uint64_t envelopes_received() const { return received_; }
     [[nodiscard]] std::uint64_t consolidation_failures() const { return consolidation_failures_; }
     [[nodiscard]] std::uint64_t blocks_delivered() const { return blocks_delivered_; }
@@ -157,6 +180,21 @@ private:
     std::optional<crypto::Digest> last_hash_;
     std::vector<crypto::Digest> block_hashes_;
     std::vector<std::uint64_t> level_totals_;
+
+    bool alive_ = true;
+    /// Bumped on crash and restart; CPU-station lambdas capture the value at
+    /// submission and no-op when it no longer matches (stale work).
+    std::uint64_t epoch_ = 0;
+    /// Pre-crash chain, moved out of block_hashes_ on restart; replayed
+    /// blocks are checked against it and not re-delivered.
+    std::vector<crypto::Digest> replay_expected_;
+    /// Blocks whose per-level counts were already added to level_totals_
+    /// (high-water mark so replay does not double-count).
+    std::uint64_t levels_counted_ = 0;
+    std::uint64_t crashes_ = 0;
+    std::uint64_t restarts_ = 0;
+    std::uint64_t dropped_broadcasts_ = 0;
+    std::uint64_t replay_hash_mismatches_ = 0;
 
     std::uint64_t received_ = 0;
     std::uint64_t consolidation_failures_ = 0;

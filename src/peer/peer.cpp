@@ -44,9 +44,18 @@ double Peer::observed_load_tps() {
 
 void Peer::handle_proposal(const ledger::Proposal& proposal,
                            std::function<void(EndorsementResult)> reply) {
+    if (endorser_down_) {
+        // Dropped before any load accounting or rng draws, so taking an
+        // endorser down does not shift this peer's random stream.
+        ++proposals_dropped_;
+        return;
+    }
     const double load = observed_load_tps();
-    const Duration cost = rng_.exponential_duration(params_.endorse_execute_cost) +
-                          params_.endorse_sign_cost;
+    Duration cost = rng_.exponential_duration(params_.endorse_execute_cost) +
+                    params_.endorse_sign_cost;
+    if (endorse_slowdown_ != 1.0) {
+        cost = Duration::from_seconds(cost.as_seconds() * endorse_slowdown_);
+    }
     endorse_cpu_.submit(cost, [this, proposal, load, reply = std::move(reply)] {
         CalculatorContext ctx;
         ctx.registry = &registry_;

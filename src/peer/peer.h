@@ -111,6 +111,23 @@ public:
     /// untraced peers pay one predicted-not-taken branch per event site.
     void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
+    // -- fault injection ----------------------------------------------------
+    /// Takes the endorsement service down (true) or up (false).  While down,
+    /// proposals are silently dropped — the client's endorsement timeout is
+    /// the only signal, exactly like a crashed endorser process.  The commit
+    /// path is unaffected: Fabric peers run endorsement and validation as
+    /// separate services, and the chaos model faults them independently.
+    void set_endorser_down(bool down) { endorser_down_ = down; }
+    [[nodiscard]] bool endorser_down() const { return endorser_down_; }
+
+    /// Scales the chaincode-execution cost (1.0 = configured speed).  Models
+    /// an overloaded or degraded endorser that still answers, just late.
+    void set_endorse_slowdown(double factor) { endorse_slowdown_ = factor; }
+    [[nodiscard]] double endorse_slowdown() const { return endorse_slowdown_; }
+
+    /// Proposals dropped while the endorsement service was down.
+    [[nodiscard]] std::uint64_t proposals_dropped() const { return proposals_dropped_; }
+
     // -- statistics ---------------------------------------------------------
     [[nodiscard]] std::uint64_t proposals_endorsed() const { return endorsed_; }
     [[nodiscard]] std::uint64_t blocks_committed() const { return blocks_committed_; }
@@ -163,6 +180,10 @@ private:
     TimePoint load_window_start_;
     std::uint64_t load_window_count_ = 0;
     double last_window_tps_ = 0.0;
+
+    bool endorser_down_ = false;
+    double endorse_slowdown_ = 1.0;
+    std::uint64_t proposals_dropped_ = 0;
 
     std::uint64_t endorsed_ = 0;
     std::uint64_t blocks_committed_ = 0;

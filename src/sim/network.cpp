@@ -9,6 +9,11 @@ void Network::set_link(NodeId from, NodeId to, LinkParams params) {
     overrides_[{from, to}] = params;
 }
 
+void Network::set_message_faults(MessageFaultParams params, Rng rng) {
+    faults_ = params;
+    fault_rng_ = rng;
+}
+
 const LinkParams& Network::params_for(NodeId from, NodeId to) const {
     const auto it = overrides_.find({from, to});
     return it == overrides_.end() ? defaults_ : it->second;
@@ -26,6 +31,40 @@ Duration Network::sample_delay(NodeId from, NodeId to, std::size_t size_bytes) {
 }
 
 void Network::send(NodeId from, NodeId to, std::size_t size_bytes, EventFn deliver) {
+    if (!faults_.any()) {
+        ++messages_;
+        bytes_ += size_bytes;
+        sim_.schedule_after(sample_delay(from, to, size_bytes), std::move(deliver));
+        return;
+    }
+    // Fixed draw order (drop, delay, dup) keeps the fault stream aligned
+    // with the message sequence regardless of outcomes.
+    if (fault_rng_.chance(faults_.drop_prob)) {
+        ++dropped_;
+        return;
+    }
+    ++messages_;
+    bytes_ += size_bytes;
+    Duration delay = sample_delay(from, to, size_bytes);
+    if (fault_rng_.chance(faults_.delay_prob)) {
+        delay = delay + fault_rng_.exponential_duration(faults_.delay_mean);
+        ++delayed_;
+    }
+    if (fault_rng_.chance(faults_.dup_prob)) {
+        // The duplicate models a retransmitted datagram: it arrives strictly
+        // after the original, offset by an exponential retransmission gap.
+        ++duplicated_;
+        ++messages_;
+        bytes_ += size_bytes;
+        const Duration dup_delay =
+            delay + fault_rng_.exponential_duration(faults_.delay_mean);
+        sim_.schedule_after(dup_delay, EventFn(deliver));
+    }
+    sim_.schedule_after(delay, std::move(deliver));
+}
+
+void Network::send_reliable(NodeId from, NodeId to, std::size_t size_bytes,
+                            EventFn deliver) {
     ++messages_;
     bytes_ += size_bytes;
     sim_.schedule_after(sample_delay(from, to, size_bytes), std::move(deliver));

@@ -2,6 +2,9 @@
 // and NetworkConfig/FabricNetwork construction validation.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "core/fabric_network.h"
 #include "core/metrics.h"
 
@@ -88,6 +91,77 @@ TEST(MetricsTest, EmptyCollectorSafe) {
     EXPECT_EQ(m.avg_latency(), 0.0);
     EXPECT_EQ(m.throughput_tps(), 0.0);
     EXPECT_EQ(m.total(), 0u);
+}
+
+// ------------------------------------------------------ degradation counters
+
+TEST(MetricsTest, DegradationCountedForEveryTerminalRecord) {
+    MetricsCollector m;
+    // Committed after one endorse retry.
+    auto committed = make_record(1, 0, 1.0, TxValidationCode::kValid);
+    committed.endorse_retries = 1;
+    m.record(committed);
+    // Aborted (invalid) after a resubmission.
+    auto aborted = make_record(2, 0, 1.0, TxValidationCode::kMvccReadConflict);
+    aborted.resubmissions = 1;
+    m.record(aborted);
+    // Client-side endorsement-timeout failure: retries must still count even
+    // though the record short-circuits out of the latency stats.
+    auto failed = make_record(3, 0, 1.0, TxValidationCode::kEndorsementTimeout);
+    failed.failed_before_ordering = true;
+    failed.endorse_retries = 2;
+    m.record(failed);
+    // Commit-timeout failure after exhausting resubmissions.
+    auto timed_out = make_record(4, 0, 1.0, TxValidationCode::kCommitTimeout);
+    timed_out.failed_before_ordering = true;
+    timed_out.resubmissions = 3;
+    m.record(timed_out);
+
+    EXPECT_EQ(m.endorse_retries_total(), 3u);
+    EXPECT_EQ(m.resubmissions_total(), 4u);
+    EXPECT_EQ(m.endorse_timeout_failures(), 1u);
+    EXPECT_EQ(m.commit_timeout_failures(), 1u);
+    ASSERT_TRUE(m.degradation_by_chaincode().contains("cc"));
+    EXPECT_EQ(m.degradation_by_chaincode().at("cc").endorse_retries, 3u);
+    EXPECT_EQ(m.degradation_by_chaincode().at("cc").resubmissions, 4u);
+}
+
+TEST(MetricsTest, DegradationJsonSchemaPinned) {
+    MetricsCollector m;
+    auto r = make_record(1, 0, 1.0, TxValidationCode::kValid);
+    r.chaincode = "asset_transfer";
+    r.endorse_retries = 3;
+    r.resubmissions = 2;
+    m.record(r);
+    auto failed = make_record(2, 0, 1.0, TxValidationCode::kCommitTimeout);
+    failed.failed_before_ordering = true;
+    m.record(failed);
+
+    std::ostringstream os;
+    write_metrics_json(os, m);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"degradation\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"endorse_retries\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"resubmissions\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"endorse_timeout_failures\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"commit_timeout_failures\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"by_chaincode\""), std::string::npos);
+    EXPECT_NE(json.find("\"asset_transfer\""), std::string::npos);
+}
+
+TEST(MetricsTest, DegradationBlockAlwaysPresentWithZeros) {
+    // Schema stability: fault-free runs emit the same keys, all zero, so
+    // JSON consumers need no fallback paths.
+    MetricsCollector m;
+    m.record(make_record(1, 0, 1.0, TxValidationCode::kValid));
+    std::ostringstream os;
+    write_metrics_json(os, m);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"degradation\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"endorse_retries\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"resubmissions\": 0"), std::string::npos);
+    // No retries recorded -> the per-chaincode degradation map is empty.
+    EXPECT_NE(json.find("\"by_chaincode\": {}"), std::string::npos);
 }
 
 // --------------------------------------------------------- config validation

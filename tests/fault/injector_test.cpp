@@ -1,0 +1,168 @@
+// Unit tests for the fault-schedule generator: determinism, pairing of
+// down/up events, ordering, and rate realisation (DESIGN.md §11).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/fault_spec.h"
+#include "fault/injector.h"
+
+namespace fl::fault {
+namespace {
+
+FaultProfile busy_profile() {
+    FaultProfile p;
+    p.horizon = Duration::seconds(10);
+    p.expected_osn_crashes = 2.0;
+    p.osn_downtime_mean = Duration::seconds(1);
+    p.expected_endorser_outages = 2.0;
+    p.endorser_downtime_mean = Duration::millis(500);
+    p.expected_endorser_slowdowns = 1.0;
+    p.endorser_slow_mean = Duration::seconds(1);
+    p.endorser_slow_factor = 3.0;
+    p.expected_broker_outages = 1.0;
+    p.broker_outage_mean = Duration::millis(300);
+    return p;
+}
+
+bool same_schedule(const std::vector<ScheduledFault>& a,
+                   const std::vector<ScheduledFault>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].at != b[i].at || a[i].kind != b[i].kind ||
+            a[i].target != b[i].target || a[i].factor != b[i].factor) {
+            return false;
+        }
+    }
+    return true;
+}
+
+TEST(InjectorTest, SameProfileAndSeedGiveIdenticalSchedules) {
+    const FaultProfile p = busy_profile();
+    const auto a = make_fault_schedule(p, Rng(77), 3, 4);
+    const auto b = make_fault_schedule(p, Rng(77), 3, 4);
+    EXPECT_TRUE(same_schedule(a, b));
+    EXPECT_FALSE(a.empty());
+}
+
+TEST(InjectorTest, DifferentSeedsGiveDifferentSchedules) {
+    const FaultProfile p = busy_profile();
+    const auto a = make_fault_schedule(p, Rng(1), 3, 4);
+    const auto b = make_fault_schedule(p, Rng(2), 3, 4);
+    EXPECT_FALSE(same_schedule(a, b));
+}
+
+TEST(InjectorTest, ScheduleIsSortedByTime) {
+    const auto sched = make_fault_schedule(busy_profile(), Rng(5), 3, 4);
+    for (std::size_t i = 1; i < sched.size(); ++i) {
+        EXPECT_LE(sched[i - 1].at.as_nanos(), sched[i].at.as_nanos());
+    }
+}
+
+TEST(InjectorTest, EveryDownEventHasAMatchingLaterUpEvent) {
+    const auto sched = make_fault_schedule(busy_profile(), Rng(9), 3, 4);
+    const std::map<FaultKind, FaultKind> recovery = {
+        {FaultKind::kOsnCrash, FaultKind::kOsnRestart},
+        {FaultKind::kEndorserDown, FaultKind::kEndorserUp},
+        {FaultKind::kEndorserSlow, FaultKind::kEndorserNormal},
+        {FaultKind::kBrokerDown, FaultKind::kBrokerUp},
+    };
+    for (const auto& [down, up] : recovery) {
+        // Per target: equal numbers of down and up events, and scanning in
+        // time order the down count never trails the up count (each outage
+        // opens before it closes).
+        std::map<std::uint32_t, int> open;
+        for (const ScheduledFault& f : sched) {
+            if (f.kind == down) ++open[f.target];
+            if (f.kind == up) {
+                --open[f.target];
+                EXPECT_GE(open[f.target], 0)
+                    << "recovery before outage for " << to_string(up);
+            }
+        }
+        for (const auto& [target, n] : open) {
+            EXPECT_EQ(n, 0) << to_string(down) << " target " << target
+                            << " never recovers";
+        }
+    }
+}
+
+TEST(InjectorTest, IntegerRatesRealiseExactly) {
+    // With a whole-number expectation the fractional part is 0, so the
+    // realised count is exactly floor(expected) for every seed.
+    FaultProfile p;
+    p.horizon = Duration::seconds(10);
+    p.expected_osn_crashes = 3.0;
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+        const auto sched = make_fault_schedule(p, Rng(seed), 3, 4);
+        int crashes = 0;
+        int restarts = 0;
+        for (const ScheduledFault& f : sched) {
+            crashes += f.kind == FaultKind::kOsnCrash;
+            restarts += f.kind == FaultKind::kOsnRestart;
+        }
+        EXPECT_EQ(crashes, 3);
+        EXPECT_EQ(restarts, 3);
+    }
+}
+
+TEST(InjectorTest, ZeroRatesGiveEmptySchedule) {
+    const FaultProfile p;  // all expected_* default to 0
+    EXPECT_TRUE(make_fault_schedule(p, Rng(42), 3, 4).empty());
+}
+
+TEST(InjectorTest, TargetsStayInRange) {
+    const auto sched = make_fault_schedule(busy_profile(), Rng(13), 3, 4);
+    for (const ScheduledFault& f : sched) {
+        switch (f.kind) {
+            case FaultKind::kOsnCrash:
+            case FaultKind::kOsnRestart:
+                EXPECT_LT(f.target, 3u);
+                break;
+            case FaultKind::kEndorserDown:
+            case FaultKind::kEndorserUp:
+            case FaultKind::kEndorserSlow:
+            case FaultKind::kEndorserNormal:
+                EXPECT_LT(f.target, 4u);
+                break;
+            case FaultKind::kBrokerDown:
+            case FaultKind::kBrokerUp:
+                EXPECT_EQ(f.target, 0u);
+                break;
+        }
+    }
+}
+
+TEST(InjectorTest, FaultSpecEnabledFlags) {
+    FaultSpec spec;
+    EXPECT_FALSE(spec.enabled());
+    spec.messages.drop_prob = 0.01;
+    EXPECT_TRUE(spec.enabled());
+
+    FaultSpec with_schedule;
+    with_schedule.schedule.push_back({Duration::seconds(1), FaultKind::kOsnCrash, 0});
+    EXPECT_TRUE(with_schedule.enabled());
+
+    FaultSpec with_profile;
+    with_profile.profile = FaultProfile{};
+    EXPECT_TRUE(with_profile.enabled());
+}
+
+TEST(InjectorTest, FaultKindNamesAreDistinct) {
+    std::set<std::string> names;
+    for (FaultKind k :
+         {FaultKind::kOsnCrash, FaultKind::kOsnRestart, FaultKind::kEndorserDown,
+          FaultKind::kEndorserUp, FaultKind::kEndorserSlow,
+          FaultKind::kEndorserNormal, FaultKind::kBrokerDown,
+          FaultKind::kBrokerUp}) {
+        names.insert(to_string(k));
+    }
+    EXPECT_EQ(names.size(), 8u);
+}
+
+}  // namespace
+}  // namespace fl::fault

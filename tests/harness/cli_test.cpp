@@ -1,0 +1,114 @@
+// CLI hardening for the bench drivers: strict numeric parsing and typed
+// rejection (exit code 2) of malformed / zero / negative count flags.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "harness/sweep.h"
+
+namespace fl::harness {
+namespace {
+
+// -- parse_cli_u64: the strict parser itself --------------------------------
+
+TEST(CliParseTest, AcceptsPlainDigits) {
+    EXPECT_EQ(parse_cli_u64("0"), std::uint64_t{0});
+    EXPECT_EQ(parse_cli_u64("1"), std::uint64_t{1});
+    EXPECT_EQ(parse_cli_u64("123456789"), std::uint64_t{123456789});
+    EXPECT_EQ(parse_cli_u64("18446744073709551615"),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(CliParseTest, RejectsSignsWhitespaceAndGarbage) {
+    EXPECT_EQ(parse_cli_u64("-1"), std::nullopt);   // strtoull would wrap this
+    EXPECT_EQ(parse_cli_u64("+1"), std::nullopt);
+    EXPECT_EQ(parse_cli_u64(" 1"), std::nullopt);
+    EXPECT_EQ(parse_cli_u64("1 "), std::nullopt);
+    EXPECT_EQ(parse_cli_u64("12abc"), std::nullopt);
+    EXPECT_EQ(parse_cli_u64("abc"), std::nullopt);
+    EXPECT_EQ(parse_cli_u64("0x10"), std::nullopt);
+    EXPECT_EQ(parse_cli_u64("1.5"), std::nullopt);
+    EXPECT_EQ(parse_cli_u64(""), std::nullopt);
+    EXPECT_EQ(parse_cli_u64(nullptr), std::nullopt);
+}
+
+TEST(CliParseTest, RejectsOverflow) {
+    EXPECT_EQ(parse_cli_u64("18446744073709551616"), std::nullopt);  // 2^64
+    EXPECT_EQ(parse_cli_u64("99999999999999999999999"), std::nullopt);
+}
+
+// -- parse_sweep_cli: rejection paths exit with code 2 -----------------------
+
+SweepCli parse(std::vector<const char*> argv) {
+    argv.insert(argv.begin(), "bench");
+    return parse_sweep_cli(static_cast<int>(argv.size()),
+                           const_cast<char**>(argv.data()), 42, "cli_test");
+}
+
+TEST(CliDeathTest, ZeroTxsRejected) {
+    EXPECT_EXIT(parse({"--txs", "0"}), ::testing::ExitedWithCode(2),
+                "must be >= 1");
+}
+
+TEST(CliDeathTest, NegativeTxsRejected) {
+    EXPECT_EXIT(parse({"--txs", "-5"}), ::testing::ExitedWithCode(2),
+                "not a non-negative integer");
+}
+
+TEST(CliDeathTest, MalformedTxsRejected) {
+    EXPECT_EXIT(parse({"--txs", "12abc"}), ::testing::ExitedWithCode(2),
+                "not a non-negative integer");
+}
+
+TEST(CliDeathTest, ZeroRunsRejected) {
+    EXPECT_EXIT(parse({"--runs", "0"}), ::testing::ExitedWithCode(2),
+                "must be >= 1");
+}
+
+TEST(CliDeathTest, NegativeRunsRejected) {
+    EXPECT_EXIT(parse({"--runs", "-1"}), ::testing::ExitedWithCode(2),
+                "not a non-negative integer");
+}
+
+TEST(CliDeathTest, ZeroThreadsRejected) {
+    EXPECT_EXIT(parse({"--threads", "0"}), ::testing::ExitedWithCode(2),
+                "must be >= 1");
+}
+
+TEST(CliDeathTest, MalformedThreadsRejected) {
+    EXPECT_EXIT(parse({"--threads", "two"}), ::testing::ExitedWithCode(2),
+                "not a non-negative integer");
+}
+
+TEST(CliDeathTest, MalformedSeedRejected) {
+    EXPECT_EXIT(parse({"--seed", "0x10"}), ::testing::ExitedWithCode(2),
+                "not a non-negative integer");
+}
+
+TEST(CliDeathTest, MissingValueRejected) {
+    EXPECT_EXIT(parse({"--txs"}), ::testing::ExitedWithCode(2), "missing value");
+}
+
+// -- accepted values round-trip ---------------------------------------------
+
+TEST(CliParseTest, ValidFlagsParse) {
+    const SweepCli cli =
+        parse({"--txs", "1000", "--runs", "3", "--threads", "4", "--seed", "7"});
+    ASSERT_TRUE(cli.total_txs.has_value());
+    EXPECT_EQ(*cli.total_txs, 1000u);
+    ASSERT_TRUE(cli.runs.has_value());
+    EXPECT_EQ(*cli.runs, 3u);
+    EXPECT_EQ(cli.threads, 4u);
+    EXPECT_EQ(cli.base_seed, 7u);
+}
+
+TEST(CliParseTest, SeedZeroIsAllowed) {
+    // --seed is a raw u64, not a count: 0 is a legitimate seed.
+    EXPECT_EQ(parse({"--seed", "0"}).base_seed, 0u);
+}
+
+}  // namespace
+}  // namespace fl::harness
