@@ -107,17 +107,26 @@ void parallel_for_each(ThreadPool& pool, std::size_t count,
         std::mutex mutex;
         std::condition_variable done_cv;
         std::exception_ptr error;
-        std::size_t helpers_active = 0;
+        /// Participants currently inside the claim loop.  A runner registers
+        /// BEFORE its first claim, so any claimed index is covered by a
+        /// registered runner — the caller's exit condition below is safe.
+        std::size_t runners = 0;
     };
     auto shared = std::make_shared<Shared>();
 
     // Claims indices until the counter runs past `count`.  Captures `shared`
-    // by value and `body` by reference: this function only returns after
-    // every helper finished, so the reference outlives them.
+    // by value (keeps the synchronization state alive for late-starting
+    // helpers) and `body` by reference: `body` is only dereferenced after a
+    // successful claim, which cannot happen once the caller has returned —
+    // by then every index is claimed, so late helpers bail out immediately.
     const auto run = [shared, &body, count] {
+        {
+            std::lock_guard lock(shared->mutex);
+            ++shared->runners;
+        }
         for (;;) {
             const std::size_t i = shared->next.fetch_add(1);
-            if (i >= count) return;
+            if (i >= count) break;
             try {
                 body(i);
             } catch (...) {
@@ -127,26 +136,27 @@ void parallel_for_each(ThreadPool& pool, std::size_t count,
                 shared->next.store(count);
             }
         }
+        std::lock_guard lock(shared->mutex);
+        if (--shared->runners == 0) shared->done_cv.notify_all();
     };
 
     // The caller works too, so one index needs no helper at all.
     const std::size_t helpers = std::min(pool.size(), count - 1);
-    {
-        std::lock_guard lock(shared->mutex);
-        shared->helpers_active = helpers;
-    }
     for (std::size_t h = 0; h < helpers; ++h) {
-        pool.submit([shared, run] {
-            run();
-            std::lock_guard lock(shared->mutex);
-            if (--shared->helpers_active == 0) shared->done_cv.notify_all();
-        });
+        pool.submit(run);
     }
 
     run();
 
+    // The caller's own run() only returns once every index is claimed, so
+    // waiting for runners == 0 waits exactly for bodies still executing on
+    // other workers.  Helpers that never got scheduled are NOT waited for —
+    // they find no work when they eventually run — which is what makes this
+    // safe to call from inside a pool task: a saturated pool of callers can
+    // no longer deadlock waiting on each other's queued helpers (validators
+    // inside sweep-point tasks rely on this, see peer/validator.cpp).
     std::unique_lock lock(shared->mutex);
-    shared->done_cv.wait(lock, [&shared] { return shared->helpers_active == 0; });
+    shared->done_cv.wait(lock, [&shared] { return shared->runners == 0; });
     if (shared->error) std::rethrow_exception(shared->error);
 }
 

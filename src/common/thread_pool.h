@@ -76,8 +76,12 @@ private:
 /// finish) and the first captured exception is rethrown here.  `count == 0`
 /// returns immediately without touching the pool.
 ///
-/// Do not call from inside a pool task: the caller participates but then
-/// blocks waiting for its helpers, which can deadlock a saturated pool.
+/// Safe to call from inside a pool task (nested fork-join): the caller only
+/// waits for bodies actively executing on other workers, never for queued
+/// helper tasks — a saturated pool of concurrent callers cannot deadlock.
+/// The parallel block validator (peer/validator.cpp) relies on this to
+/// borrow the sweep pool from within a simulation step.  Nested calls whose
+/// bodies themselves fork recurse at most as deep as the call structure.
 void parallel_for_each(ThreadPool& pool, std::size_t count,
                        const std::function<void(std::size_t)>& body);
 

@@ -382,6 +382,24 @@ void FabricNetwork::register_metrics(obs::MetricRegistry& registry) {
     registry.add_gauge("broker_deferred_appends", [this] {
         return static_cast<double>(broker_->deferred_appends_total());
     });
+    // Parallel-validation gauges (appended, same contract as above).  All
+    // zero in ValidationMode::kSerial, and — since the wave schedule is a
+    // pure function of block contents — identical at every pool size.
+    registry.add_gauge("validation_parallel_blocks", [this] {
+        return static_cast<double>(peers_.front()->blocks_wave_validated());
+    });
+    registry.add_gauge("validation_parallel_waves", [this] {
+        return static_cast<double>(peers_.front()->validation_waves());
+    });
+    registry.add_gauge("validation_conflict_edges", [this] {
+        return static_cast<double>(peers_.front()->conflict_edges());
+    });
+    registry.add_gauge("validation_parallel_txs", [this] {
+        return static_cast<double>(peers_.front()->txs_parallel_checked());
+    });
+    registry.add_gauge("validation_largest_component", [this] {
+        return static_cast<double>(peers_.front()->largest_conflict_component());
+    });
 }
 
 void FabricNetwork::update_block_policy(const policy::BlockFormationPolicy& new_policy) {

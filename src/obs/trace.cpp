@@ -28,6 +28,8 @@ const char* to_string(EventType type) {
     case EventType::kRetry: return "retry";
     case EventType::kResubmit: return "resubmit";
     case EventType::kFault: return "fault";
+    case EventType::kConflictGraph: return "conflict_graph";
+    case EventType::kValidationWave: return "validation_wave";
     }
     return "unknown";
 }

@@ -52,6 +52,8 @@ enum class EventType : std::uint8_t {
     kRetry,            ///< client re-sent the proposals      (client, tx, value=new attempt)
     kResubmit,         ///< envelope re-broadcast to an OSN   (client, tx, value=resubmission #)
     kFault,            ///< injected fault applied            (actor by kind, value=fault::FaultKind, value2=target)
+    kConflictGraph,    ///< parallel validator scheduled a block (peer, block, value=components, value2=edges)
+    kValidationWave,   ///< one conflict-resolution wave ran  (peer, block, value=wave index, value2=txs in wave)
 };
 [[nodiscard]] const char* to_string(EventType type);
 

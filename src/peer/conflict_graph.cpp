@@ -1,0 +1,139 @@
+#include "peer/conflict_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace fl::peer {
+
+namespace {
+
+/// Disjoint-set forest over positions (path halving, union by size).
+class UnionFind {
+public:
+    explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+        for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<std::uint32_t>(i);
+    }
+
+    std::uint32_t find(std::uint32_t x) {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void unite(std::uint32_t a, std::uint32_t b) {
+        a = find(a);
+        b = find(b);
+        if (a == b) return;
+        if (size_[a] < size_[b]) std::swap(a, b);
+        parent_[b] = a;
+        size_[a] += size_[b];
+    }
+
+    [[nodiscard]] std::size_t size_of(std::uint32_t root) const { return size_[root]; }
+
+private:
+    std::vector<std::uint32_t> parent_;
+    std::vector<std::size_t> size_;
+};
+
+}  // namespace
+
+WaveSchedule build_wave_schedule(
+    const std::vector<const ledger::ReadWriteSet*>& rwsets) {
+    const std::size_t n = rwsets.size();
+    WaveSchedule out;
+    out.wave_of.assign(n, 0);
+    out.component_of.assign(n, 0);
+    if (n == 0) return out;
+
+    // Writers of each key, positions ascending (a position appears once even
+    // if it writes the key twice).  Ordered map so range reads can scan
+    // [start, end) without touching unrelated keys.
+    std::map<std::string, std::vector<std::uint32_t>, std::less<>> writers;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (rwsets[i] == nullptr) continue;
+        for (const ledger::KvWrite& w : rwsets[i]->writes) {
+            std::vector<std::uint32_t>& v = writers[w.key];
+            if (v.empty() || v.back() != i) v.push_back(static_cast<std::uint32_t>(i));
+        }
+    }
+
+    // Last writer of a key strictly before position i, if any.  Linking to
+    // the immediate predecessor suffices: all writers of one key chain
+    // through each other, so every earlier writer lands in an earlier wave
+    // transitively (header comment).
+    const auto pred_writer = [](const std::vector<std::uint32_t>& v,
+                                std::uint32_t i) -> std::optional<std::uint32_t> {
+        const auto it = std::lower_bound(v.begin(), v.end(), i);
+        if (it == v.begin()) return std::nullopt;
+        return *(it - 1);
+    };
+
+    UnionFind uf(n);
+    std::vector<std::uint32_t> preds;  // reused per transaction
+    for (std::size_t i = 0; i < n; ++i) {
+        const ledger::ReadWriteSet* rw = rwsets[i];
+        if (rw == nullptr) continue;  // non-candidate: wave 0, own component
+        const auto pos = static_cast<std::uint32_t>(i);
+        preds.clear();
+        const auto consider = [&](const std::string& key) {
+            if (const auto it = writers.find(key); it != writers.end()) {
+                if (const auto p = pred_writer(it->second, pos)) {
+                    preds.push_back(*p);
+                }
+            }
+        };
+        for (const ledger::KvRead& r : rw->reads) consider(r.key);
+        for (const ledger::KvWrite& w : rw->writes) consider(w.key);
+        for (const ledger::RangeRead& rr : rw->range_reads) {
+            for (auto it = writers.lower_bound(rr.start_key);
+                 it != writers.end() && it->first < rr.end_key; ++it) {
+                if (const auto p = pred_writer(it->second, pos)) {
+                    preds.push_back(*p);
+                }
+            }
+        }
+        std::sort(preds.begin(), preds.end());
+        preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+
+        std::uint32_t wave = 0;
+        for (const std::uint32_t j : preds) {
+            wave = std::max(wave, out.wave_of[j] + 1);
+            uf.unite(pos, j);
+        }
+        out.wave_of[i] = wave;
+        out.edge_count += preds.size();
+    }
+
+    // Dense component ids in order of first appearance.
+    std::map<std::uint32_t, std::uint32_t> root_to_id;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t root = uf.find(static_cast<std::uint32_t>(i));
+        const auto [it, inserted] =
+            root_to_id.emplace(root, static_cast<std::uint32_t>(root_to_id.size()));
+        out.component_of[i] = it->second;
+        if (inserted) {
+            out.max_component_size = std::max(out.max_component_size, uf.size_of(root));
+        }
+    }
+    out.component_count = static_cast<std::uint32_t>(root_to_id.size());
+
+    // Per-wave position lists (candidates only; non-candidates are decided
+    // before wave processing starts and never enter the conflict scan).
+    for (std::size_t i = 0; i < n; ++i) {
+        if (rwsets[i] == nullptr) continue;
+        out.wave_count = std::max(out.wave_count, out.wave_of[i] + 1);
+    }
+    out.waves.resize(out.wave_count);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (rwsets[i] == nullptr) continue;
+        out.waves[out.wave_of[i]].push_back(static_cast<std::uint32_t>(i));
+    }
+    return out;
+}
+
+}  // namespace fl::peer

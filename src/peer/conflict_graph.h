@@ -1,0 +1,69 @@
+// Conflict-graph wave scheduling for parallel block validation.
+//
+// The serial validator (validator.cpp) decides transactions one at a time in
+// a fixed *processing order* (block order, or stable consolidated-priority
+// order in prioritized mode); a transaction's fate depends only on the
+// accepted writes of transactions EARLIER in that order whose write sets
+// intersect its own read/write/range-read keys.  That dependency structure
+// is a DAG, and this module extracts it:
+//
+//   * an edge j -> i exists iff j precedes i in processing order and j
+//     writes a key that i reads, writes, or covers with a range read;
+//   * wave(i) = 0 if i has no predecessor, else 1 + max(wave(j)) over its
+//     predecessors.
+//
+// All writers of one key form a chain in processing order (each linked to
+// the previous writer), so linking every toucher of a key to that key's
+// *immediately preceding* writer is enough: transitivity through the chain
+// puts every earlier writer of a shared key in a strictly earlier wave.
+//
+// Transactions in the same wave are mutually independent — no write of one
+// can affect the conflict check of another — so a wave can be validated in
+// parallel against the accepted-writes map frozen at the wave boundary, and
+// the result is provably identical to the serial scan (DESIGN.md §12).
+//
+// Everything here is a pure function of the read/write sets in processing
+// order: no randomness, no scheduling dependence, so the schedule (and any
+// statistic derived from it) is byte-identical across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ledger/rwset.h"
+
+namespace fl::peer {
+
+/// Wave schedule over a sequence of read/write sets given in processing
+/// order.  Indices below are positions in that sequence (NOT block order —
+/// the prioritized validator reorders before scheduling).
+struct WaveSchedule {
+    /// Wave index per position; wave 0 transactions have no intra-block
+    /// dependency at all.
+    std::vector<std::uint32_t> wave_of;
+    /// Number of waves (max wave_of + 1; 0 for an empty schedule).
+    std::uint32_t wave_count = 0;
+    /// Positions per wave, ascending within each wave — the parallel
+    /// validator iterates these directly.
+    std::vector<std::vector<std::uint32_t>> waves;
+
+    /// Connected-component id per position (ids are dense, assigned in
+    /// order of each component's first member).
+    std::vector<std::uint32_t> component_of;
+    std::uint32_t component_count = 0;
+    /// Size of the largest connected component (1 when fully independent).
+    std::size_t max_component_size = 0;
+    /// Dependency edges found (immediate-predecessor links, deduplicated
+    /// per (tx, key-chain) pair).
+    std::size_t edge_count = 0;
+};
+
+/// Builds the wave schedule for `rwsets` (borrowed pointers, processing
+/// order).  Null entries are allowed and mean "not a candidate" — the
+/// transaction already failed an order-independent check (duplicate id,
+/// endorsement, stale read against committed state) and can neither win a
+/// key nor constrain anyone; it is assigned wave 0 and its own component.
+[[nodiscard]] WaveSchedule build_wave_schedule(
+    const std::vector<const ledger::ReadWriteSet*>& rwsets);
+
+}  // namespace fl::peer

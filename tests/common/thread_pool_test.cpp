@@ -116,5 +116,53 @@ TEST(ParallelForEachTest, ManyMoreTasksThanThreads) {
     EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(n) * (n - 1) / 2);
 }
 
+TEST(ParallelForEachTest, NestedForkJoinCompletes) {
+    // A body that itself calls parallel_for_each on the same pool — the
+    // shape the parallel block validator creates from inside a sweep point.
+    ThreadPool pool(2);
+    const std::size_t outer = 8, inner = 16;
+    std::vector<std::atomic<std::uint64_t>> sums(outer);
+    parallel_for_each(pool, outer, [&](std::size_t i) {
+        parallel_for_each(pool, inner, [&sums, i](std::size_t j) {
+            sums[i].fetch_add(j + 1);
+        });
+    });
+    for (std::size_t i = 0; i < outer; ++i) {
+        EXPECT_EQ(sums[i].load(), inner * (inner + 1) / 2);
+    }
+}
+
+TEST(ParallelForEachTest, SaturatedNestedCallersDoNotDeadlock) {
+    // Worst case: a 1-worker pool where the single worker is itself an
+    // outer caller, so every helper task for the inner loops sits queued
+    // behind callers.  Waiting on queued (never-started) helpers would
+    // deadlock here; runner accounting must not.
+    ThreadPool pool(1);
+    std::atomic<std::uint64_t> total{0};
+    parallel_for_each(pool, 4, [&pool, &total](std::size_t) {
+        parallel_for_each(pool, 32,
+                          [&total](std::size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 4u * 32u);
+}
+
+TEST(ParallelForEachTest, NestedInnerExceptionPropagates) {
+    ThreadPool pool(3);
+    EXPECT_THROW(parallel_for_each(pool, 6,
+                                   [&pool](std::size_t i) {
+                                       parallel_for_each(
+                                           pool, 6, [i](std::size_t j) {
+                                               if (i == j) {
+                                                   throw std::runtime_error("inner");
+                                               }
+                                           });
+                                   }),
+                 std::runtime_error);
+    // Pool still healthy afterwards.
+    std::atomic<int> counter{0};
+    parallel_for_each(pool, 10, [&counter](std::size_t) { counter.fetch_add(1); });
+    EXPECT_EQ(counter.load(), 10);
+}
+
 }  // namespace
 }  // namespace fl

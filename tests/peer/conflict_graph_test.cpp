@@ -1,0 +1,171 @@
+#include "peer/conflict_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fl::peer {
+namespace {
+
+/// Builds a ReadWriteSet from plain key lists (versions don't matter for
+/// scheduling — only which keys are touched).
+ledger::ReadWriteSet rw(std::vector<std::string> reads,
+                        std::vector<std::string> writes,
+                        std::vector<std::pair<std::string, std::string>> ranges = {}) {
+    ledger::ReadWriteSet s;
+    for (auto& k : reads) s.reads.push_back(ledger::KvRead{std::move(k), {}});
+    for (auto& k : writes) s.writes.push_back(ledger::KvWrite{std::move(k), "v", false});
+    for (auto& [lo, hi] : ranges) {
+        s.range_reads.push_back(ledger::RangeRead{std::move(lo), std::move(hi), {}});
+    }
+    return s;
+}
+
+std::vector<const ledger::ReadWriteSet*> ptrs(const std::vector<ledger::ReadWriteSet>& sets) {
+    std::vector<const ledger::ReadWriteSet*> out;
+    out.reserve(sets.size());
+    for (const auto& s : sets) out.push_back(&s);
+    return out;
+}
+
+TEST(ConflictGraphTest, EmptyInput) {
+    const WaveSchedule ws = build_wave_schedule({});
+    EXPECT_EQ(ws.wave_count, 0u);
+    EXPECT_TRUE(ws.waves.empty());
+    EXPECT_EQ(ws.component_count, 0u);
+    EXPECT_EQ(ws.edge_count, 0u);
+}
+
+TEST(ConflictGraphTest, IndependentTransactionsFormOneWave) {
+    const std::vector<ledger::ReadWriteSet> disjoint = {
+        rw({}, {"a"}), rw({}, {"b"}), rw({"x"}, {"c"})};
+    const WaveSchedule ws = build_wave_schedule(ptrs(disjoint));
+    EXPECT_EQ(ws.wave_count, 1u);
+    EXPECT_EQ(ws.waves[0], (std::vector<std::uint32_t>{0, 1, 2}));
+    EXPECT_EQ(ws.component_count, 3u);
+    EXPECT_EQ(ws.max_component_size, 1u);
+    EXPECT_EQ(ws.edge_count, 0u);
+}
+
+TEST(ConflictGraphTest, WriteWriteChainSerializes) {
+    const std::vector<ledger::ReadWriteSet> sets = {
+        rw({}, {"k"}), rw({}, {"k"}), rw({}, {"k"})};
+    const WaveSchedule ws = build_wave_schedule(ptrs(sets));
+    EXPECT_EQ(ws.wave_of, (std::vector<std::uint32_t>{0, 1, 2}));
+    EXPECT_EQ(ws.wave_count, 3u);
+    EXPECT_EQ(ws.component_count, 1u);
+    EXPECT_EQ(ws.max_component_size, 3u);
+    // Immediate-predecessor links only: 1->0 and 2->1.
+    EXPECT_EQ(ws.edge_count, 2u);
+}
+
+TEST(ConflictGraphTest, ReadAfterWriteDepends) {
+    const std::vector<ledger::ReadWriteSet> sets = {rw({}, {"k"}),
+                                                    rw({"k"}, {"out"})};
+    const WaveSchedule ws = build_wave_schedule(ptrs(sets));
+    EXPECT_EQ(ws.wave_of, (std::vector<std::uint32_t>{0, 1}));
+    EXPECT_EQ(ws.component_count, 1u);
+}
+
+TEST(ConflictGraphTest, WriteAfterReadDoesNotDepend) {
+    // An earlier READER never constrains a later writer: accepted entries
+    // carry writes only, exactly like the serial conflict scan.
+    const std::vector<ledger::ReadWriteSet> sets = {rw({"k"}, {"out"}),
+                                                    rw({}, {"k"})};
+    const WaveSchedule ws = build_wave_schedule(ptrs(sets));
+    EXPECT_EQ(ws.wave_of, (std::vector<std::uint32_t>{0, 0}));
+    EXPECT_EQ(ws.wave_count, 1u);
+    EXPECT_EQ(ws.edge_count, 0u);
+    EXPECT_EQ(ws.component_count, 2u);
+}
+
+TEST(ConflictGraphTest, TransitivityThroughWriterChain) {
+    // Writers of "k" at 0 and 2; a reader at 4 links only to 2, but lands in
+    // wave 2 because the chain 0 -> 2 -> 4 is transitive through waves.
+    const std::vector<ledger::ReadWriteSet> sets = {
+        rw({}, {"k"}), rw({}, {"u1"}), rw({}, {"k"}), rw({}, {"u2"}),
+        rw({"k"}, {"out"})};
+    const WaveSchedule ws = build_wave_schedule(ptrs(sets));
+    EXPECT_EQ(ws.wave_of, (std::vector<std::uint32_t>{0, 0, 1, 0, 2}));
+    EXPECT_EQ(ws.wave_count, 3u);
+    EXPECT_EQ(ws.waves[0], (std::vector<std::uint32_t>{0, 1, 3}));
+    EXPECT_EQ(ws.waves[1], (std::vector<std::uint32_t>{2}));
+    EXPECT_EQ(ws.waves[2], (std::vector<std::uint32_t>{4}));
+    EXPECT_EQ(ws.edge_count, 2u);  // 2->0 and 4->2, not 4->0
+}
+
+TEST(ConflictGraphTest, RangeReadCoversWritersInside) {
+    const std::vector<ledger::ReadWriteSet> sets = {
+        rw({}, {"r/m"}),   // inside [r/, r/z)
+        rw({}, {"s/x"}),   // outside
+        rw({}, {}, {{"r/", "r/z"}})};
+    const WaveSchedule ws = build_wave_schedule(ptrs(sets));
+    EXPECT_EQ(ws.wave_of, (std::vector<std::uint32_t>{0, 0, 1}));
+    EXPECT_EQ(ws.edge_count, 1u);
+    EXPECT_EQ(ws.component_count, 2u);
+}
+
+TEST(ConflictGraphTest, NullEntriesAreInertSingletons) {
+    // Position 1 failed an order-independent check: its write of "k" must
+    // neither serialize 0 and 2 against it nor appear in any wave list.
+    const ledger::ReadWriteSet a = rw({}, {"k"});
+    const ledger::ReadWriteSet c = rw({"k"}, {"out"});
+    const WaveSchedule ws = build_wave_schedule({&a, nullptr, &c});
+    EXPECT_EQ(ws.wave_of, (std::vector<std::uint32_t>{0, 0, 1}));
+    ASSERT_EQ(ws.wave_count, 2u);
+    EXPECT_EQ(ws.waves[0], (std::vector<std::uint32_t>{0}));
+    EXPECT_EQ(ws.waves[1], (std::vector<std::uint32_t>{2}));
+    // Two components: {0, 2} linked through "k", and the null singleton.
+    EXPECT_EQ(ws.component_count, 2u);
+    EXPECT_EQ(ws.component_of[0], ws.component_of[2]);
+    EXPECT_NE(ws.component_of[1], ws.component_of[0]);
+}
+
+TEST(ConflictGraphTest, DisjointChainsAreSeparateComponents) {
+    const std::vector<ledger::ReadWriteSet> sets = {
+        rw({}, {"a"}), rw({}, {"b"}), rw({}, {"a"}), rw({}, {"b"}),
+        rw({}, {"c"})};
+    const WaveSchedule ws = build_wave_schedule(ptrs(sets));
+    EXPECT_EQ(ws.wave_of, (std::vector<std::uint32_t>{0, 0, 1, 1, 0}));
+    EXPECT_EQ(ws.component_count, 3u);
+    EXPECT_EQ(ws.max_component_size, 2u);
+    // Components are numbered by first appearance.
+    EXPECT_EQ(ws.component_of[0], ws.component_of[2]);
+    EXPECT_EQ(ws.component_of[1], ws.component_of[3]);
+    EXPECT_NE(ws.component_of[0], ws.component_of[1]);
+    EXPECT_NE(ws.component_of[4], ws.component_of[0]);
+}
+
+TEST(ConflictGraphTest, WavesPartitionCandidatesAscending) {
+    const std::vector<ledger::ReadWriteSet> sets = {
+        rw({}, {"a"}), rw({"a"}, {"b"}), rw({"b"}, {"c"}), rw({}, {"z"}),
+        rw({"a"}, {"y"})};
+    const WaveSchedule ws = build_wave_schedule(ptrs(sets));
+    std::vector<bool> seen(sets.size(), false);
+    std::size_t total = 0;
+    for (const auto& wave : ws.waves) {
+        for (std::size_t k = 1; k < wave.size(); ++k) {
+            EXPECT_LT(wave[k - 1], wave[k]);
+        }
+        for (const std::uint32_t pos : wave) {
+            EXPECT_FALSE(seen[pos]);
+            seen[pos] = true;
+            ++total;
+        }
+    }
+    EXPECT_EQ(total, sets.size());
+}
+
+TEST(ConflictGraphTest, DuplicateWritesOfOneKeyCountOnce) {
+    ledger::ReadWriteSet twice;
+    twice.writes.push_back(ledger::KvWrite{"k", "v1", false});
+    twice.writes.push_back(ledger::KvWrite{"k", "v2", false});
+    const ledger::ReadWriteSet reader = rw({"k"}, {});
+    const WaveSchedule ws = build_wave_schedule({&twice, &reader});
+    EXPECT_EQ(ws.wave_of, (std::vector<std::uint32_t>{0, 1}));
+    EXPECT_EQ(ws.edge_count, 1u);
+}
+
+}  // namespace
+}  // namespace fl::peer
