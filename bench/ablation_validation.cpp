@@ -92,8 +92,8 @@ int main(int argc, char** argv) {
     };
     const Scenario scenarios[] = {
         // Point 0 first so a default --trace instruments a paper-workload
-        // point (the contended points carry their own instrument hook, which
-        // arm_trace_capture would replace).
+        // point (arm_trace_capture chains with the contended points'
+        // seeding hook, but the mix points are the figure of record).
         {"mix", false, 0},
         {"mix", false, 1},
         {"contended", true, 2},

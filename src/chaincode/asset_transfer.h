@@ -3,6 +3,7 @@
 //
 // Functions:
 //   create <account> <balance>          — create an account
+//   mint <account> <amount>             — create-or-top-up (reads 1, writes 1)
 //   transfer <from> <to> <amount>       — move balance (reads 2, writes 2)
 //   query <account>                     — read-only balance lookup
 #pragma once

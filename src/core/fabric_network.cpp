@@ -400,6 +400,36 @@ void FabricNetwork::register_metrics(obs::MetricRegistry& registry) {
     registry.add_gauge("validation_largest_component", [this] {
         return static_cast<double>(peers_.front()->largest_conflict_component());
     });
+
+    // Sharded world-state gauges (peer 0).  Only the deterministic counters
+    // are exported — lock *acquisitions* are a pure function of the access
+    // sequence, so these samples stay byte-identical at any --threads; the
+    // host-dependent try-lock contention counters deliberately never appear
+    // here (DESIGN.md §13).
+    registry.add_gauge("state_keys", [this] {
+        return static_cast<double>(peers_.front()->state().key_count());
+    });
+    registry.add_gauge("state_bytes", [this] {
+        return static_cast<double>(peers_.front()->state().approx_memory_bytes());
+    });
+    registry.add_gauge("state_shard_max_keys", [this] {
+        return static_cast<double>(peers_.front()->state().max_shard_keys());
+    });
+    registry.add_gauge("state_shard_read_locks", [this] {
+        return static_cast<double>(peers_.front()->state().total_stats().read_locks);
+    });
+    registry.add_gauge("state_shard_write_locks", [this] {
+        return static_cast<double>(
+            peers_.front()->state().total_stats().write_locks);
+    });
+    registry.add_gauge("state_shard_hottest_reads", [this] {
+        const ledger::WorldState& state = peers_.front()->state();
+        std::uint64_t hottest = 0;
+        for (std::size_t i = 0; i < state.shard_count(); ++i) {
+            hottest = std::max(hottest, state.shard_stats(i).read_locks);
+        }
+        return static_cast<double>(hottest);
+    });
 }
 
 void FabricNetwork::update_block_policy(const policy::BlockFormationPolicy& new_policy) {

@@ -164,9 +164,15 @@ void write_sweep_json(std::ostream& os, const SweepSpec& spec,
 
 namespace {
 
-[[noreturn]] void usage(const std::string& bench_name, int exit_code) {
+[[noreturn]] void usage(const std::string& bench_name, int exit_code,
+                        const std::vector<BenchFlag*>& extra = {}) {
     std::ostream& os = exit_code == 0 ? std::cout : std::cerr;
-    os << "usage: " << bench_name << " [options]\n"
+    os << "usage: " << bench_name << " [options]\n";
+    for (const BenchFlag* flag : extra) {
+        os << "  " << flag->name << " N   " << flag->help
+           << " (default: " << flag->value << ")\n";
+    }
+    os
        << "  --threads N   worker threads for the sweep "
           "(default: hardware concurrency)\n"
        << "  --seed S      base seed; every point's seed derives from it "
@@ -194,15 +200,16 @@ namespace {
 }
 
 std::uint64_t parse_u64(const std::string& flag, const char* raw,
-                        const std::string& bench_name) {
+                        const std::string& bench_name,
+                        const std::vector<BenchFlag*>& extra = {}) {
     if (raw == nullptr || *raw == '\0') {
         std::cerr << flag << ": missing value\n";
-        usage(bench_name, 2);
+        usage(bench_name, 2, extra);
     }
     const std::optional<std::uint64_t> v = parse_cli_u64(raw);
     if (!v) {
         std::cerr << flag << ": not a non-negative integer: " << raw << "\n";
-        usage(bench_name, 2);
+        usage(bench_name, 2, extra);
     }
     return *v;
 }
@@ -210,11 +217,12 @@ std::uint64_t parse_u64(const std::string& flag, const char* raw,
 /// For counts that must be >= 1 (--threads/--runs/--txs): zero — including
 /// a "-1" the old strtoull parser would have wrapped to huge — is an error.
 std::uint64_t parse_positive_u64(const std::string& flag, const char* raw,
-                                 const std::string& bench_name) {
-    const std::uint64_t v = parse_u64(flag, raw, bench_name);
+                                 const std::string& bench_name,
+                                 const std::vector<BenchFlag*>& extra = {}) {
+    const std::uint64_t v = parse_u64(flag, raw, bench_name, extra);
     if (v == 0) {
         std::cerr << flag << ": must be >= 1\n";
-        usage(bench_name, 2);
+        usage(bench_name, 2, extra);
     }
     return v;
 }
@@ -237,6 +245,12 @@ std::optional<std::uint64_t> parse_cli_u64(const char* raw) {
 
 SweepCli parse_sweep_cli(int argc, char** argv, std::uint64_t default_seed,
                          const std::string& bench_name) {
+    return parse_sweep_cli(argc, argv, default_seed, bench_name, {});
+}
+
+SweepCli parse_sweep_cli(int argc, char** argv, std::uint64_t default_seed,
+                         const std::string& bench_name,
+                         const std::vector<BenchFlag*>& extra) {
     SweepCli cli;
     cli.base_seed = default_seed;
     cli.json_path = "BENCH_local_" + bench_name + ".json";
@@ -246,22 +260,22 @@ SweepCli parse_sweep_cli(int argc, char** argv, std::uint64_t default_seed,
             return i + 1 < argc ? argv[++i] : nullptr;
         };
         if (arg == "--help" || arg == "-h") {
-            usage(bench_name, 0);
+            usage(bench_name, 0, extra);
         } else if (arg == "--threads") {
-            cli.threads =
-                static_cast<unsigned>(parse_positive_u64(arg, next(), bench_name));
+            cli.threads = static_cast<unsigned>(
+                parse_positive_u64(arg, next(), bench_name, extra));
         } else if (arg == "--seed") {
-            cli.base_seed = parse_u64(arg, next(), bench_name);
+            cli.base_seed = parse_u64(arg, next(), bench_name, extra);
         } else if (arg == "--runs") {
-            cli.runs =
-                static_cast<unsigned>(parse_positive_u64(arg, next(), bench_name));
+            cli.runs = static_cast<unsigned>(
+                parse_positive_u64(arg, next(), bench_name, extra));
         } else if (arg == "--txs") {
-            cli.total_txs = parse_positive_u64(arg, next(), bench_name);
+            cli.total_txs = parse_positive_u64(arg, next(), bench_name, extra);
         } else if (arg == "--json") {
             const char* path = next();
             if (path == nullptr) {
                 std::cerr << "--json: missing path\n";
-                usage(bench_name, 2);
+                usage(bench_name, 2, extra);
             }
             cli.json_path = path;
         } else if (arg == "--no-json") {
@@ -270,35 +284,54 @@ SweepCli parse_sweep_cli(int argc, char** argv, std::uint64_t default_seed,
             const char* path = next();
             if (path == nullptr || *path == '\0') {
                 std::cerr << "--trace: missing path\n";
-                usage(bench_name, 2);
+                usage(bench_name, 2, extra);
             }
             cli.trace_path = path;
         } else if (arg == "--timeseries") {
             const char* path = next();
             if (path == nullptr || *path == '\0') {
                 std::cerr << "--timeseries: missing path\n";
-                usage(bench_name, 2);
+                usage(bench_name, 2, extra);
             }
             cli.timeseries_path = path;
         } else if (arg == "--trace-point") {
-            cli.trace_point =
-                static_cast<std::size_t>(parse_u64(arg, next(), bench_name));
+            cli.trace_point = static_cast<std::size_t>(
+                parse_u64(arg, next(), bench_name, extra));
         } else if (arg == "--log-level") {
             const char* name = next();
             if (name == nullptr || *name == '\0') {
                 std::cerr << "--log-level: missing value\n";
-                usage(bench_name, 2);
+                usage(bench_name, 2, extra);
             }
             const std::optional<LogLevel> level = parse_log_level(name);
             if (!level) {
                 std::cerr << "--log-level: unknown level '" << name
                           << "' (expected trace|debug|info|warn|error|off)\n";
-                usage(bench_name, 2);
+                usage(bench_name, 2, extra);
             }
             set_log_level(*level);
         } else {
-            std::cerr << "unknown option: " << arg << "\n";
-            usage(bench_name, 2);
+            BenchFlag* matched = nullptr;
+            for (BenchFlag* flag : extra) {
+                if (arg == flag->name) {
+                    matched = flag;
+                    break;
+                }
+            }
+            if (matched == nullptr) {
+                std::cerr << "unknown option: " << arg << "\n";
+                usage(bench_name, 2, extra);
+            }
+            const std::uint64_t v =
+                matched->positive
+                    ? parse_positive_u64(arg, next(), bench_name, extra)
+                    : parse_u64(arg, next(), bench_name, extra);
+            if (v > matched->max) {
+                std::cerr << arg << ": must be <= " << matched->max << "\n";
+                usage(bench_name, 2, extra);
+            }
+            matched->value = v;
+            matched->seen = true;
         }
     }
     return cli;
@@ -336,19 +369,23 @@ void arm_trace_capture(SweepSpec& spec, const SweepCli& cli,
 
     // Only run 0 of one point attaches — one network, one worker, so the
     // capture needs no locking and the bytes cannot depend on --threads.
-    spec.points[idx].spec.instrument = [&capture, want_trace, want_series](
-                                           core::FabricNetwork& net,
-                                           unsigned run) {
-        if (run != 0) return;
-        if (want_trace) net.set_trace_sink(&capture.sink);
-        if (want_series) {
-            obs::MetricRegistry registry;
-            net.register_metrics(registry);
-            capture.recorder = std::make_unique<obs::TimeSeriesRecorder>(
-                net.simulator(), std::move(registry), capture.cadence);
-            capture.recorder->start();
-        }
-    };
+    // An instrument hook the bench already installed (e.g. scale_state's
+    // account seeding) keeps running: chain, don't replace.
+    spec.points[idx].spec.instrument =
+        [&capture, want_trace, want_series,
+         prev = std::move(spec.points[idx].spec.instrument)](
+            core::FabricNetwork& net, unsigned run) {
+            if (prev) prev(net, run);
+            if (run != 0) return;
+            if (want_trace) net.set_trace_sink(&capture.sink);
+            if (want_series) {
+                obs::MetricRegistry registry;
+                net.register_metrics(registry);
+                capture.recorder = std::make_unique<obs::TimeSeriesRecorder>(
+                    net.simulator(), std::move(registry), capture.cadence);
+                capture.recorder->start();
+            }
+        };
 }
 
 bool emit_trace_files(const SweepCli& cli, const TraceCapture& capture,

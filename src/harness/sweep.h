@@ -108,6 +108,20 @@ struct SweepCli {
 /// garbage — and range-checked.  Returns nullopt on any defect.
 [[nodiscard]] std::optional<std::uint64_t> parse_cli_u64(const char* raw);
 
+/// A bench-specific unsigned CLI flag (e.g. scale_state's --accounts),
+/// parsed by parse_sweep_cli with the same strict digits-only contract as
+/// the shared flags: malformed/out-of-range values print a message plus
+/// usage and exit 2.  `value` holds the default going in and the parsed
+/// value coming out; `seen` reports whether the flag appeared at all.
+struct BenchFlag {
+    std::string name;   ///< including dashes, e.g. "--accounts"
+    std::string help;   ///< one-line usage text
+    std::uint64_t value = 0;
+    bool positive = false;  ///< reject 0 ("must be >= 1")
+    std::uint64_t max = UINT64_MAX;  ///< inclusive; reject above
+    bool seen = false;
+};
+
 /// Parses --threads/--seed/--json/--no-json/--runs/--txs plus the
 /// observability flags --trace/--timeseries/--trace-point/--log-level
 /// (--help prints usage and exits; an unknown --log-level name is rejected
@@ -118,6 +132,13 @@ struct SweepCli {
 [[nodiscard]] SweepCli parse_sweep_cli(int argc, char** argv,
                                        std::uint64_t default_seed,
                                        const std::string& bench_name);
+
+/// Overload taking bench-specific flags; each matched flag's `value`/`seen`
+/// is updated in place and its help line joins the --help text.
+[[nodiscard]] SweepCli parse_sweep_cli(int argc, char** argv,
+                                       std::uint64_t default_seed,
+                                       const std::string& bench_name,
+                                       const std::vector<BenchFlag*>& extra);
 
 /// Writes the sweep JSON to cli.json_path unless --no-json; announces the
 /// path on `status` (stdout in the benches).  Returns true when written.

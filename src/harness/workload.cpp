@@ -1,5 +1,6 @@
 #include "harness/workload.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -185,6 +186,95 @@ void seed_hot_accounts(core::FabricNetwork& net, std::uint32_t hot_accounts,
                        long long initial_balance) {
     for (std::uint32_t i = 0; i < hot_accounts; ++i) {
         net.seed_state("acct/" + hot_account_name(i), std::to_string(initial_balance));
+    }
+}
+
+// -- Zipfian scale workload -------------------------------------------------
+
+namespace {
+
+/// Generalized harmonic number H_{n,theta} = sum_{i=1..n} 1/i^theta.
+double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+    if (n < 1) throw std::invalid_argument("ZipfSampler: need n >= 1");
+    if (theta < 0.0 || theta >= 1.0) {
+        throw std::invalid_argument("ZipfSampler: need 0 <= theta < 1");
+    }
+    zetan_ = zeta(n_, theta_);
+    zeta2_ = zeta(std::min<std::uint64_t>(n_, 2), theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t ZipfSampler::next_rank(Rng& rng) {
+    // Gray et al.'s closed-form inverse-CDF approximation (as in YCSB):
+    // exact for the two hottest ranks, asymptotic for the tail.
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (n_ >= 2 && uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return std::min(rank, n_ - 1);
+}
+
+std::uint64_t ZipfSampler::scramble(std::uint64_t rank) const {
+    // FNV-1a over the rank's 8 bytes — stable across platforms, and the same
+    // hash family the world state stripes with, though over different bytes
+    // ("u<i>" decimal text there), so hot keys do not pile onto one shard.
+    std::uint64_t h = 14695981039346656037ull;
+    for (int byte = 0; byte < 8; ++byte) {
+        h ^= (rank >> (byte * 8)) & 0xFFu;
+        h *= 1099511628211ull;
+    }
+    return h % n_;
+}
+
+std::uint64_t ZipfSampler::next(Rng& rng) { return scramble(next_rank(rng)); }
+
+std::string scale_account_name(std::uint64_t index) {
+    return "u" + std::to_string(index);
+}
+
+TxGenerator zipfian_transfers(std::uint64_t accounts, double theta,
+                              double mint_fraction) {
+    if (accounts < 2) {
+        throw std::invalid_argument("zipfian_transfers: need >= 2 accounts");
+    }
+    if (mint_fraction < 0.0 || mint_fraction > 1.0) {
+        throw std::invalid_argument("zipfian_transfers: mint_fraction in [0,1]");
+    }
+    // One sampler shared by every draw from this generator: the zeta
+    // normalization is O(accounts) to build, so build it once.
+    auto sampler = std::make_shared<ZipfSampler>(accounts, theta);
+    return [sampler, mint_fraction](client::Client& c, Rng& rng) {
+        const std::uint64_t a = sampler->next(rng);
+        if (mint_fraction > 0.0 && rng.chance(mint_fraction)) {
+            c.submit("asset_transfer", "mint", {scale_account_name(a), "5"});
+            return;
+        }
+        std::uint64_t b = sampler->next(rng);
+        if (b == a) b = (b + 1) % sampler->size();  // distinct endpoints
+        c.submit("asset_transfer", "transfer",
+                 {scale_account_name(a), scale_account_name(b), "1"});
+    };
+}
+
+void seed_scale_accounts(core::FabricNetwork& net, std::uint64_t accounts,
+                         long long initial_balance) {
+    const std::string balance = std::to_string(initial_balance);
+    for (std::uint64_t i = 0; i < accounts; ++i) {
+        net.seed_state("acct/" + scale_account_name(i), balance);
     }
 }
 

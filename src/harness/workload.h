@@ -10,9 +10,14 @@
 //   * single_chaincode   — all load on one contract (Figure 6 uses
 //     record_keeper for every client so only *who floods* differs);
 //   * contended_transfers — asset transfers over a small hot-account set,
-//     used to exercise the prioritized validator's conflict resolution.
+//     used to exercise the prioritized validator's conflict resolution;
+//   * zipfian_transfers  — asset transfers over a huge (millions-wide)
+//     account space with Zipf-skewed popularity, the YCSB access pattern
+//     the scale harness (bench/scale_state) drives against the sharded
+//     world state.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -82,5 +87,59 @@ private:
 /// Seeds the hot accounts used by contended_transfers on every peer.
 void seed_hot_accounts(core::FabricNetwork& net, std::uint32_t hot_accounts,
                        long long initial_balance = 1'000'000);
+
+// -- Zipfian scale workload -------------------------------------------------
+
+/// Zipf(theta)-distributed sampler over [0, n), YCSB's "ZipfianGenerator"
+/// construction (Gray et al.'s rejection-free inverse-CDF approximation):
+/// rank r is drawn with probability ∝ 1/(r+1)^theta, then scrambled through
+/// a stable FNV-1a hash so the popular ranks land on unrelated indices (and
+/// therefore unrelated world-state shards).  theta = 0 degenerates to the
+/// uniform distribution; theta must be < 1 (the harmonic normalization
+/// diverges at 1).  Deterministic: same (n, theta, rng state) ⇒ same draws.
+class ZipfSampler {
+public:
+    ZipfSampler(std::uint64_t n, double theta);
+
+    /// Scrambled index in [0, n).
+    [[nodiscard]] std::uint64_t next(Rng& rng);
+
+    /// Popularity rank in [0, n): 0 is the hottest, 1 the next, ...
+    /// (pre-scramble; exposed for tests pinning the skew itself).
+    [[nodiscard]] std::uint64_t next_rank(Rng& rng);
+
+    [[nodiscard]] std::uint64_t size() const { return n_; }
+    [[nodiscard]] double theta() const { return theta_; }
+
+    /// The stable rank→index permutation-ish scramble (FNV-1a mod n; rank
+    /// collisions are acceptable and inherent to YCSB's construction).
+    [[nodiscard]] std::uint64_t scramble(std::uint64_t rank) const;
+
+private:
+    std::uint64_t n_;
+    double theta_;
+    double zetan_;   ///< generalized harmonic H_{n,theta}
+    double zeta2_;   ///< H_{2,theta}
+    double alpha_;
+    double eta_;
+};
+
+/// Canonical account name for index i of the scale account space ("u<i>";
+/// full state key is "acct/u<i>").
+[[nodiscard]] std::string scale_account_name(std::uint64_t index);
+
+/// Asset transfers over `accounts` pre-seeded accounts with Zipf(theta)
+/// popularity.  A `mint_fraction` slice of traffic instead mints (creates or
+/// tops up) the sampled account — single-key write traffic that exercises
+/// the create-or-top-up path against the sharded store.  Accounts must be
+/// seeded via seed_scale_accounts() before traffic.
+[[nodiscard]] TxGenerator zipfian_transfers(std::uint64_t accounts, double theta,
+                                            double mint_fraction = 0.0);
+
+/// Seeds the `accounts`-wide scale account space on every peer (version
+/// {0,0} bootstrap writes, bypassing the pipeline — this is the "million
+/// account" world-state population step, so it is deliberately not traffic).
+void seed_scale_accounts(core::FabricNetwork& net, std::uint64_t accounts,
+                         long long initial_balance = 1'000);
 
 }  // namespace fl::harness

@@ -71,6 +71,12 @@ struct PeerParams {
     ThreadPool* validation_pool = nullptr;
     /// Blocks below this size validate serially even in kParallel.
     std::size_t validation_parallel_min_txs = 16;
+
+    /// Stripe width of this peer's world state (ledger/world_state.h).
+    /// Purely an implementation knob: every observable result is identical
+    /// at any shard count (DESIGN.md §13); it only moves the lock
+    /// granularity / merge-cost trade-off that bench/scale_state sweeps.
+    std::size_t state_shards = ledger::WorldState::kDefaultShards;
 };
 
 /// Per-commit notification delivered back to the submitting client.

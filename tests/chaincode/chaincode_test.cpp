@@ -147,6 +147,28 @@ TEST_F(AssetTransferTest, BadArguments) {
     EXPECT_FALSE(invoke("query", {"ghost"}).ok);
 }
 
+TEST_F(AssetTransferTest, MintCreatesThenTopsUp) {
+    EXPECT_TRUE(invoke("mint", {"alice", "40"}).ok);  // create path
+    EXPECT_EQ(invoke("query", {"alice"}).message, "40");
+    EXPECT_TRUE(invoke("mint", {"alice", "5"}).ok);  // top-up path
+    EXPECT_EQ(invoke("query", {"alice"}).message, "45");
+}
+
+TEST_F(AssetTransferTest, MintBadArguments) {
+    EXPECT_FALSE(invoke("mint", {"alice"}).ok);
+    EXPECT_FALSE(invoke("mint", {"alice", "-1"}).ok);
+    EXPECT_FALSE(invoke("mint", {"alice", "ten"}).ok);
+}
+
+TEST_F(AssetTransferTest, MintRwsetShape) {
+    // One read (existence probe) + one write — the single-key traffic the
+    // Zipfian scale workload relies on.
+    TxContext ctx(ws_);
+    ASSERT_TRUE(cc_.invoke(ctx, "mint", std::vector<std::string>{"a", "7"}).ok);
+    EXPECT_EQ(ctx.rwset().reads.size(), 1u);
+    EXPECT_EQ(ctx.rwset().writes.size(), 1u);
+}
+
 TEST_F(AssetTransferTest, TransferRwsetShape) {
     ASSERT_TRUE(invoke("create", {"a", "50"}).ok);
     ASSERT_TRUE(invoke("create", {"b", "50"}).ok);

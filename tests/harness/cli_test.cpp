@@ -92,6 +92,75 @@ TEST(CliDeathTest, MissingValueRejected) {
     EXPECT_EXIT(parse({"--txs"}), ::testing::ExitedWithCode(2), "missing value");
 }
 
+// -- bench-specific flags (BenchFlag) ----------------------------------------
+
+struct BenchParse {
+    BenchFlag accounts{"--accounts", "account count", 1'000'000, true};
+    BenchFlag shards{"--shards", "shard count", 0, true, 256};
+    BenchFlag zipf{"--zipf", "skew hundredths", 99, false, 99};
+    SweepCli cli;
+
+    explicit BenchParse(std::vector<const char*> argv) {
+        argv.insert(argv.begin(), "bench");
+        cli = parse_sweep_cli(static_cast<int>(argv.size()),
+                              const_cast<char**>(argv.data()), 42, "cli_test",
+                              {&accounts, &shards, &zipf});
+    }
+};
+
+TEST(CliParseTest, BenchFlagsKeepDefaultsWhenAbsent) {
+    const BenchParse p({"--txs", "10"});
+    EXPECT_EQ(p.accounts.value, 1'000'000u);
+    EXPECT_FALSE(p.accounts.seen);
+    EXPECT_EQ(p.shards.value, 0u);
+    EXPECT_FALSE(p.shards.seen);
+    EXPECT_EQ(p.zipf.value, 99u);
+}
+
+TEST(CliParseTest, BenchFlagsParseAlongsideSharedFlags) {
+    const BenchParse p({"--accounts", "5000", "--threads", "2", "--shards",
+                        "8", "--zipf", "0"});
+    EXPECT_EQ(p.accounts.value, 5000u);
+    EXPECT_TRUE(p.accounts.seen);
+    EXPECT_EQ(p.shards.value, 8u);
+    EXPECT_TRUE(p.shards.seen);
+    EXPECT_EQ(p.zipf.value, 0u);  // positive=false: zero allowed
+    EXPECT_TRUE(p.zipf.seen);
+    EXPECT_EQ(p.cli.threads, 2u);
+}
+
+TEST(CliDeathTest, MalformedBenchFlagRejected) {
+    EXPECT_EXIT(BenchParse({"--accounts", "1e6"}),
+                ::testing::ExitedWithCode(2), "not a non-negative integer");
+}
+
+TEST(CliDeathTest, NegativeBenchFlagRejected) {
+    EXPECT_EXIT(BenchParse({"--accounts", "-3"}),
+                ::testing::ExitedWithCode(2), "not a non-negative integer");
+}
+
+TEST(CliDeathTest, ZeroPositiveBenchFlagRejected) {
+    EXPECT_EXIT(BenchParse({"--shards", "0"}), ::testing::ExitedWithCode(2),
+                "must be >= 1");
+}
+
+TEST(CliDeathTest, BenchFlagAboveMaxRejected) {
+    EXPECT_EXIT(BenchParse({"--zipf", "100"}), ::testing::ExitedWithCode(2),
+                "must be <= 99");
+    EXPECT_EXIT(BenchParse({"--shards", "257"}), ::testing::ExitedWithCode(2),
+                "must be <= 256");
+}
+
+TEST(CliDeathTest, BenchFlagMissingValueRejected) {
+    EXPECT_EXIT(BenchParse({"--accounts"}), ::testing::ExitedWithCode(2),
+                "missing value");
+}
+
+TEST(CliDeathTest, UnknownFlagStillRejectedWithBenchFlags) {
+    EXPECT_EXIT(BenchParse({"--nope", "1"}), ::testing::ExitedWithCode(2),
+                "unknown option");
+}
+
 // -- accepted values round-trip ---------------------------------------------
 
 TEST(CliParseTest, ValidFlagsParse) {

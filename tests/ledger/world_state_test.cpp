@@ -134,5 +134,40 @@ TEST(WorldStateTest, FingerprintSensitiveToValueAndVersion) {
     EXPECT_NE(a.fingerprint(), c.fingerprint());
 }
 
+TEST(WorldStateTest, ExplicitShardCountIsObservablyIdentical) {
+    // Sharding is an implementation knob: a 1-shard, a 5-shard and the
+    // default store fed the same writes agree on every observable.  (The
+    // deep randomized version lives in sharded_state_test.cpp.)
+    WorldState one(1);
+    WorldState five(5);
+    WorldState dflt;
+    EXPECT_EQ(one.shard_count(), 1u);
+    EXPECT_EQ(five.shard_count(), 5u);
+    EXPECT_EQ(dflt.shard_count(), WorldState::kDefaultShards);
+    for (int i = 0; i < 40; ++i) {
+        const KvWrite w{"key" + std::to_string(i), std::to_string(i), false};
+        const Version v{1, static_cast<std::uint32_t>(i)};
+        one.apply(w, v);
+        five.apply(w, v);
+        dflt.apply(w, v);
+    }
+    EXPECT_EQ(one.fingerprint(), five.fingerprint());
+    EXPECT_EQ(one.fingerprint(), dflt.fingerprint());
+    EXPECT_EQ(one.key_count(), five.key_count());
+    const auto r1 = one.range("key1", "key2");
+    const auto r5 = five.range("key1", "key2");
+    ASSERT_EQ(r1.size(), r5.size());
+    for (std::size_t i = 0; i < r1.size(); ++i) {
+        EXPECT_EQ(r1[i].key, r5[i].key);
+    }
+}
+
+TEST(WorldStateTest, ZeroShardCountClampsToOne) {
+    WorldState ws(0);
+    EXPECT_EQ(ws.shard_count(), 1u);
+    ws.apply(KvWrite{"k", "v", false}, Version{1, 0});
+    EXPECT_EQ(ws.get("k"), "v");
+}
+
 }  // namespace
 }  // namespace fl::ledger

@@ -129,7 +129,8 @@ TEST(ParallelValidatorTest, RandomizedDifferentialAgainstSerialOracle) {
         Committer serial;
         serial.cfg.prioritized = true;
         serial.cfg.verify_consolidation = true;
-        Committer parallel = serial;
+        Committer parallel;  // WorldState is non-copyable; clone the cfg only
+        parallel.cfg = serial.cfg;
         parallel.cfg.mode = ValidationMode::kParallel;
         parallel.cfg.pool = &pool;
 
@@ -158,7 +159,7 @@ TEST(ParallelValidatorTest, VanillaFifoModeAlsoMatches) {
         Fixture f;
         std::mt19937_64 rng(seed);
         Committer serial;  // prioritized off, consolidation off
-        Committer parallel = serial;
+        Committer parallel;
         parallel.cfg.mode = ValidationMode::kParallel;
         parallel.cfg.pool = &pool;
         std::uint64_t next_id = 1;
@@ -238,7 +239,8 @@ TEST(ParallelValidatorTest, PriorityWinVisibleEarlyDoesNotLeakAcrossOrder) {
     serial.cfg.prioritized = true;
     serial.cfg.verify_consolidation = true;
     serial.cfg.parallel_min_txs = 2;
-    Committer parallel = serial;
+    Committer parallel;
+    parallel.cfg = serial.cfg;
     parallel.cfg.mode = ValidationMode::kParallel;
     parallel.cfg.pool = &pool;
 
