@@ -88,10 +88,13 @@ inline harness::ExperimentPoint paper_point(
 /// Runs the sweep with wall-clock timing and a stdout footer; the timing
 /// never enters the JSON (it would break byte-identity across --threads).
 /// When --trace/--timeseries were given, instruments the selected point and
-/// writes the capture files after the sweep drains.
+/// writes the capture files after the sweep drains.  --audit/--audit-window
+/// attach the fairness-audit accountant to every point (reports land in the
+/// per-point JSON as "audit_runs").
 inline std::vector<harness::PointResult> run_timed_sweep(
     harness::SweepSpec& sweep, const harness::SweepCli& cli) {
     harness::TraceCapture capture;
+    harness::apply_audit_cli(sweep, cli);
     harness::arm_trace_capture(sweep, cli, capture, std::cout);
     const auto started = std::chrono::steady_clock::now();
     auto results = harness::run_sweep(sweep);

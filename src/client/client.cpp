@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "obs/audit/audit.h"
 #include "obs/trace.h"
 #include "peer/endorser.h"
 
@@ -68,6 +69,7 @@ void Client::submit(std::string chaincode, std::string function,
         ev.tx = proposal.tx_id.value();
         trace_->emit(ev);
     }
+    if (audit_) audit_->on_submit(id_.value(), sim_.now());
 
     send_proposals(it->second);
 }
@@ -362,6 +364,7 @@ void Client::on_commit(const peer::CommitNotice& notice) {
         ev.code = notice.code;
         trace_->emit(ev);
     }
+    if (audit_) audit_->on_client_terminal(id_.value(), sim_.now());
     if (on_complete_) on_complete_(record);
 }
 
@@ -395,6 +398,7 @@ void Client::fail_client_side(PendingTx& pending, TxValidationCode code) {
         ev.code = code;
         trace_->emit(ev);
     }
+    if (audit_) audit_->on_client_terminal(id_.value(), sim_.now());
     const TxId id = pending.proposal.tx_id;
     pending_.erase(id);
     if (on_complete_) on_complete_(record);

@@ -38,6 +38,9 @@
 namespace fl::obs {
 class TraceSink;
 }
+namespace fl::obs::audit {
+class AuditAccountant;
+}
 
 namespace fl::client {
 
@@ -147,6 +150,10 @@ public:
     /// Attaches a trace sink (null detaches); branch-on-null emit sites.
     void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
+    /// Attaches the fairness-audit accountant (null detaches); same
+    /// branch-on-null contract as set_trace.
+    void set_audit(obs::audit::AuditAccountant* audit) { audit_ = audit; }
+
     [[nodiscard]] ClientId id() const { return id_; }
     [[nodiscard]] NodeId node() const { return node_; }
 
@@ -226,6 +233,7 @@ private:
     std::uint64_t resubmissions_ = 0;
 
     obs::TraceSink* trace_ = nullptr;
+    obs::audit::AuditAccountant* audit_ = nullptr;
 };
 
 }  // namespace fl::client

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "fault/injector.h"
+#include "obs/audit/audit.h"
 #include "obs/metric_registry.h"
 #include "obs/trace.h"
 
@@ -227,7 +228,25 @@ void FabricNetwork::set_trace_sink(obs::TraceSink* sink) {
     for (const auto& c : clients_) c->set_trace(sink);
     for (const auto& p : peers_) p->set_trace(sink);
     for (const auto& o : osns_) o->set_trace(sink);
-    if (sink == nullptr) {
+    if (audit_) audit_->set_trace(sink);  // detector events
+    install_broker_hook();
+}
+
+void FabricNetwork::set_audit(obs::audit::AuditAccountant* audit) {
+    audit_ = audit;
+    if (audit_) audit_->set_trace(trace_);
+    for (const auto& c : clients_) c->set_audit(audit);
+    for (const auto& p : peers_) p->set_audit(audit);
+    // One dequeue observer: all OSNs cut identical blocks, so the audit
+    // replays OSN 0's generator decisions against the shadow scheduler.
+    osns_.front()->set_audit(audit);
+    install_broker_hook();
+}
+
+void FabricNetwork::install_broker_hook() {
+    obs::TraceSink* sink = trace_;
+    obs::audit::AuditAccountant* audit = audit_;
+    if (sink == nullptr && audit == nullptr) {
         broker_->set_on_append(nullptr);
         return;
     }
@@ -237,17 +256,29 @@ void FabricNetwork::set_trace_sink(obs::TraceSink* sink) {
         levels.emplace(config_.channel.topic_for_level(l), l);
     }
     broker_->set_on_append(
-        [sink, levels = std::move(levels), sim = &sim_](
+        [sink, audit, levels = std::move(levels), sim = &sim_](
             const std::string& topic, mq::Offset offset,
             const orderer::OrderedRecord& rec, std::size_t wire) {
             if (rec.is_config()) return;  // config updates carry no tx id
+            PriorityLevel level = kUnassignedPriority;
+            if (const auto it = levels.find(topic); it != levels.end()) {
+                level = it->second;
+            }
+            if (audit && !rec.is_ttc()) {
+                // Wire bytes are paid per append, resubmissions included;
+                // arrival order is first-append only (on_enqueue dedups).
+                audit->charge(obs::audit::ResourceKind::kOrderingBandwidth,
+                              rec.envelope->proposal.client.value(),
+                              rec.envelope->proposal.chaincode,
+                              static_cast<double>(wire), sim->now());
+                audit->on_enqueue(level, rec.envelope->tx_id().value(), sim->now());
+            }
+            if (sink == nullptr) return;
             obs::TraceEvent ev;
             ev.at = sim->now();
             ev.actor_kind = obs::ActorKind::kBroker;
             ev.actor = 0;
-            if (const auto it = levels.find(topic); it != levels.end()) {
-                ev.priority = it->second;
-            }
+            ev.priority = level;
             ev.value = offset;
             ev.value2 = wire;
             if (rec.is_ttc()) {
@@ -429,6 +460,22 @@ void FabricNetwork::register_metrics(obs::MetricRegistry& registry) {
             hottest = std::max(hottest, state.shard_stats(i).read_locks);
         }
         return static_cast<double>(hottest);
+    });
+
+    // Fairness-audit gauges: live detector counters, 0 when no accountant is
+    // attached (the gauges read through the member so set_audit ordering
+    // relative to register_metrics does not matter).
+    registry.add_gauge("audit_priority_inversions", [this] {
+        return audit_ ? static_cast<double>(audit_->priority_inversions()) : 0.0;
+    });
+    registry.add_gauge("audit_starvations", [this] {
+        return audit_ ? static_cast<double>(audit_->starvation_incidents()) : 0.0;
+    });
+    registry.add_gauge("audit_alarm_trips", [this] {
+        return audit_ ? static_cast<double>(audit_->alarm_trips()) : 0.0;
+    });
+    registry.add_gauge("audit_windows_closed", [this] {
+        return audit_ ? static_cast<double>(audit_->windows_closed()) : 0.0;
     });
 }
 

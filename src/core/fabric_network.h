@@ -33,6 +33,9 @@ namespace fl::obs {
 class MetricRegistry;
 class TraceSink;
 }  // namespace fl::obs
+namespace fl::obs::audit {
+class AuditAccountant;
+}
 
 namespace fl::core {
 
@@ -64,6 +67,15 @@ public:
     /// attaching it schedules no simulator events, so results are
     /// byte-identical with and without a trace.
     void set_trace_sink(obs::TraceSink* sink);
+
+    /// Attaches the fairness-audit accountant to every component: all
+    /// clients (submit/terminal service events), all peers (endorse and
+    /// validation CPU, state I/O, commit order), the broker append hook
+    /// (ordering bandwidth + arrival order) and OSN 0's block generator
+    /// (dequeue order — all OSNs cut identical blocks, so one observer
+    /// suffices and crash replay cannot double-count).  Null detaches.
+    /// Like set_trace_sink, attaching schedules no simulator events.
+    void set_audit(obs::audit::AuditAccountant* audit);
 
     /// Registers the standard gauge set (per-priority queue depth and block
     /// fill, generator/validator/consolidation counters) on `registry`.
@@ -105,6 +117,9 @@ public:
 private:
     void build();
     void apply_fault(const fault::ScheduledFault& f);
+    /// (Re)installs the broker append hook composing the current trace sink
+    /// and audit accountant (the broker holds a single hook slot).
+    void install_broker_hook();
 
     NetworkConfig config_;
     sim::Simulator sim_;
@@ -121,6 +136,7 @@ private:
     std::vector<fault::ScheduledFault> fault_schedule_;
     std::uint64_t faults_applied_ = 0;
     obs::TraceSink* trace_ = nullptr;  ///< for kFault events
+    obs::audit::AuditAccountant* audit_ = nullptr;
 };
 
 }  // namespace fl::core

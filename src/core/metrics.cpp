@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "common/json.h"
+#include "obs/audit/audit.h"
 
 namespace fl::core {
 
@@ -85,6 +86,11 @@ double MetricsCollector::throughput_tps() const {
 }
 
 void write_metrics_json(std::ostream& os, const MetricsCollector& metrics) {
+    write_metrics_json(os, metrics, nullptr);
+}
+
+void write_metrics_json(std::ostream& os, const MetricsCollector& metrics,
+                        const obs::audit::AuditReport* audit) {
     JsonWriter json(os);
     json.begin_object();
     json.field("committed_valid", metrics.committed_valid());
@@ -154,6 +160,31 @@ void write_metrics_json(std::ostream& os, const MetricsCollector& metrics) {
         json.end_object();
     }
     json.end_object();
+
+    // Full per-phase distributions (p50/p95/p99/...): means alone hide the
+    // tail inflation the paper's Figure 6 fairness argument is about.
+    json.key("phase_latency_by_priority");
+    json.begin_object();
+    for (const auto& [level, phases] : metrics.phases_by_priority()) {
+        json.key(level == kUnassignedPriority ? "unassigned"
+                                              : std::to_string(level));
+        json.begin_object();
+        json.key("endorsement");
+        write_histogram(json, phases.endorsement);
+        json.key("ordering");
+        write_histogram(json, phases.ordering);
+        json.key("validation");
+        write_histogram(json, phases.validation);
+        json.key("notification");
+        write_histogram(json, phases.notification);
+        json.end_object();
+    }
+    json.end_object();
+
+    if (audit != nullptr) {
+        json.key("audit");
+        obs::audit::write_audit_json(json, *audit);
+    }
     json.end_object();
 }
 

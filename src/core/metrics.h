@@ -10,14 +10,21 @@
 #include "client/client.h"
 #include "common/stats.h"
 
+namespace fl::obs::audit {
+struct AuditReport;
+}
+
 namespace fl::core {
 
-/// Where a class's latency goes: mean seconds per pipeline phase.
+/// Where a class's latency goes: full distribution per pipeline phase
+/// (mean() is exact — Histogram keeps RunningStats alongside the buckets —
+/// so the phase_means_by_priority JSON block is unchanged by the upgrade
+/// from plain means to distributions).
 struct PhaseStats {
-    RunningStats endorsement;
-    RunningStats ordering;
-    RunningStats validation;
-    RunningStats notification;
+    Histogram endorsement;
+    Histogram ordering;
+    Histogram validation;
+    Histogram notification;
 };
 
 /// Graceful-degradation counters (DESIGN.md §11): how much client-side
@@ -115,5 +122,11 @@ private:
 /// on the run's seed and configuration — never on wall-clock or scheduling.
 /// Used by the sweep harness's per-point BENCH_*.json output.
 void write_metrics_json(std::ostream& os, const MetricsCollector& metrics);
+
+/// Same, with an optional fairness-audit report appended as an "audit"
+/// object (obs/audit/audit.h).  Passing nullptr emits byte-identical output
+/// to the two-argument overload, so un-audited runs keep their exact bytes.
+void write_metrics_json(std::ostream& os, const MetricsCollector& metrics,
+                        const obs::audit::AuditReport* audit);
 
 }  // namespace fl::core

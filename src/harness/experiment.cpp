@@ -19,6 +19,20 @@ RunResult run_once(const ExperimentSpec& spec, std::uint64_t seed,
         if (spec.tx_probe) spec.tx_probe(r, net, result.extra);
     });
 
+    // Attach the audit before any traffic: it is purely observational (no
+    // events scheduled, no rng draws), so results are identical either way.
+    std::unique_ptr<obs::audit::AuditAccountant> audit;
+    if (spec.audit) {
+        obs::audit::AuditConfig audit_cfg = *spec.audit;
+        if (audit_cfg.level_weights.empty()) {
+            audit_cfg.level_weights = config.channel.priority_enabled
+                                          ? config.channel.block_policy.fractions()
+                                          : std::vector<double>{1.0};
+        }
+        audit = std::make_unique<obs::audit::AuditAccountant>(std::move(audit_cfg));
+        net.set_audit(audit.get());
+    }
+
     Workload workload = spec.make_workload();
     WorkloadDriver driver(net, std::move(workload), Rng(seed ^ 0x574B4C44ull));
     driver.start();
@@ -27,6 +41,11 @@ RunResult run_once(const ExperimentSpec& spec, std::uint64_t seed,
     // other events are pending, so the sim can drain).
     if (spec.instrument) spec.instrument(net, run_index);
     net.run();
+
+    if (audit) {
+        audit->finalize(net.simulator().now());
+        result.audit = audit->report();
+    }
 
     result.chains_identical = net.chains_identical();
     result.states_identical = net.states_identical();
@@ -86,9 +105,11 @@ AggregateResult run_experiment(const ExperimentSpec& spec) {
         agg.total_consolidation_failures += r.consolidation_failures;
         agg.all_consistent = agg.all_consistent && r.chains_identical &&
                              r.states_identical && r.osn_blocks_identical;
+        if (r.audit) agg.audit_reports.push_back(*r.audit);
         if (spec.keep_run_metrics) {
             std::ostringstream os;
-            core::write_metrics_json(os, r.metrics);
+            core::write_metrics_json(os, r.metrics,
+                                     r.audit ? &*r.audit : nullptr);
             agg.run_metrics_json.push_back(os.str());
         }
     }

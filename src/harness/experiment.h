@@ -11,11 +11,13 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "core/fabric_network.h"
 #include "core/metrics.h"
 #include "harness/workload.h"
+#include "obs/audit/audit.h"
 
 namespace fl::harness {
 
@@ -46,6 +48,14 @@ struct ExperimentSpec {
     /// recorder needs pending events to arm its sampling timer against).
     /// The second argument is the run index (0-based).
     std::function<void(core::FabricNetwork&, unsigned)> instrument;
+
+    /// When set, each run attaches a fresh AuditAccountant (obs/audit) with
+    /// this configuration.  The level_weights field is derived automatically
+    /// from the run's block formation policy when left empty.  The audit is
+    /// purely observational — results with and without it are identical —
+    /// and its report lands in RunResult::audit plus, with keep_run_metrics,
+    /// as an "audit" block inside the per-run metrics JSON.
+    std::optional<obs::audit::AuditConfig> audit;
 };
 
 /// Results of a single run.
@@ -59,6 +69,8 @@ struct RunResult {
     std::uint64_t consolidation_failures = 0;
     std::vector<std::uint64_t> level_totals;  ///< per-level txs ordered (OSN 0)
     std::map<std::string, double> extra;      ///< probe-filled counters
+    /// Finalized fairness-audit report (only when ExperimentSpec::audit).
+    std::optional<obs::audit::AuditReport> audit;
 };
 
 /// Per-run means of the pipeline-phase latencies, aggregated across runs.
@@ -86,6 +98,8 @@ struct AggregateResult {
     std::map<std::string, RunAggregator> extra;
     /// Per-run metrics dumps (only when ExperimentSpec::keep_run_metrics).
     std::vector<std::string> run_metrics_json;
+    /// Per-run audit reports (only when ExperimentSpec::audit).
+    std::vector<obs::audit::AuditReport> audit_reports;
 
     [[nodiscard]] double priority_latency(PriorityLevel level) const {
         const auto it = latency_by_priority.find(level);

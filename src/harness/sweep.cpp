@@ -140,6 +140,14 @@ void write_point(JsonWriter& json, const PointResult& point) {
         }
         json.end_array();
     }
+    if (!r.audit_reports.empty()) {
+        json.key("audit_runs");
+        json.begin_array();
+        for (const auto& report : r.audit_reports) {
+            obs::audit::write_audit_json(json, report);
+        }
+        json.end_array();
+    }
     json.end_object();
 }
 
@@ -194,6 +202,13 @@ namespace {
        << "                cadence into a JSONL file\n"
        << "  --trace-point N  grid point to instrument (default: 0; run 0 "
           "of it)\n"
+       << "  --audit       attach the fairness-audit accountant to every "
+          "point\n"
+       << "  --audit-window MS  audit window in simulated milliseconds "
+          "(default: 1000;\n"
+       << "                implies nothing by itself — combine with --audit "
+          "or a bench\n"
+       << "                that pre-configures auditing)\n"
        << "  --log-level L  stderr log level: trace|debug|info|warn|error|off\n"
        << "  --help        this text\n";
     std::exit(exit_code);
@@ -294,6 +309,12 @@ SweepCli parse_sweep_cli(int argc, char** argv, std::uint64_t default_seed,
                 usage(bench_name, 2, extra);
             }
             cli.timeseries_path = path;
+        } else if (arg == "--audit") {
+            cli.audit = true;
+        } else if (arg == "--audit-window") {
+            cli.audit_window_ms =
+                parse_positive_u64(arg, next(), bench_name, extra);
+            cli.audit_window_seen = true;
         } else if (arg == "--trace-point") {
             cli.trace_point = static_cast<std::size_t>(
                 parse_u64(arg, next(), bench_name, extra));
@@ -335,6 +356,18 @@ SweepCli parse_sweep_cli(int argc, char** argv, std::uint64_t default_seed,
         }
     }
     return cli;
+}
+
+void apply_audit_cli(SweepSpec& spec, const SweepCli& cli) {
+    if (!cli.audit && !cli.audit_window_seen) return;
+    for (ExperimentPoint& point : spec.points) {
+        if (cli.audit && !point.spec.audit) {
+            point.spec.audit = cli.audit_config();
+        } else if (cli.audit_window_seen && point.spec.audit) {
+            point.spec.audit->window =
+                Duration::millis(static_cast<std::int64_t>(cli.audit_window_ms));
+        }
+    }
 }
 
 bool emit_sweep_json(const SweepCli& cli, const SweepSpec& spec,

@@ -94,6 +94,9 @@ struct SweepCli {
     std::string trace_path;          ///< --trace PATH (empty = no trace)
     std::string timeseries_path;     ///< --timeseries PATH (empty = none)
     std::size_t trace_point = 0;     ///< --trace-point N (which grid point)
+    bool audit = false;              ///< --audit (fairness audit on every point)
+    std::uint64_t audit_window_ms = 1000;  ///< --audit-window MS
+    bool audit_window_seen = false;  ///< --audit-window appeared explicitly
 
     [[nodiscard]] unsigned runs_or(unsigned default_runs) const {
         return runs ? *runs : runs_from_env(default_runs);
@@ -101,7 +104,20 @@ struct SweepCli {
     [[nodiscard]] std::uint64_t txs_or(std::uint64_t default_total) const {
         return total_txs ? *total_txs : total_txs_from_env(default_total);
     }
+    /// The audit configuration selected by --audit/--audit-window (window
+    /// default 1000 ms), regardless of whether --audit was passed.
+    [[nodiscard]] obs::audit::AuditConfig audit_config() const {
+        obs::audit::AuditConfig cfg;
+        cfg.window = Duration::millis(static_cast<std::int64_t>(audit_window_ms));
+        return cfg;
+    }
 };
+
+/// Applies cli's audit selection to every point: --audit attaches the
+/// default audit config to points that have none; an explicit
+/// --audit-window overrides the window of every audited point (including
+/// benches that pre-configure their own audit).  No-op otherwise.
+void apply_audit_cli(SweepSpec& spec, const SweepCli& cli);
 
 /// Strict base-10 unsigned parser for CLI values: digits only — no sign
 /// (so "-1" is rejected instead of wrapping), no whitespace, no trailing
@@ -123,7 +139,8 @@ struct BenchFlag {
 };
 
 /// Parses --threads/--seed/--json/--no-json/--runs/--txs plus the
-/// observability flags --trace/--timeseries/--trace-point/--log-level
+/// observability flags
+/// --trace/--timeseries/--trace-point/--audit/--audit-window/--log-level
 /// (--help prints usage and exits; an unknown --log-level name is rejected
 /// at the CLI).  Malformed numbers and zero/negative --threads/--runs/--txs
 /// print a clear message and exit with code 2.  `bench_name` sets the

@@ -1,0 +1,434 @@
+#include "obs/audit/audit.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/json.h"
+#include "obs/audit/fairness.h"
+
+namespace fl::obs::audit {
+
+const char* to_string(ResourceKind kind) {
+    switch (kind) {
+    case ResourceKind::kEndorseCpu: return "endorse_cpu";
+    case ResourceKind::kOrderingBandwidth: return "ordering_bandwidth";
+    case ResourceKind::kValidationCpu: return "validation_cpu";
+    case ResourceKind::kStateIo: return "state_io";
+    }
+    return "unknown";
+}
+
+AuditAccountant::AuditAccountant(AuditConfig config) : cfg_(std::move(config)) {
+    if (cfg_.window <= Duration::zero()) {
+        throw std::invalid_argument("AuditAccountant: window must be positive");
+    }
+    if (cfg_.starvation_window <= Duration::zero()) {
+        throw std::invalid_argument("AuditAccountant: starvation window must be positive");
+    }
+    if (cfg_.alarm_consecutive == 0) {
+        throw std::invalid_argument("AuditAccountant: alarm_consecutive must be >= 1");
+    }
+    window_end_ = TimePoint::origin() + cfg_.window;
+
+    shadow_flow_of_level_.assign(cfg_.level_weights.size(), -1);
+    std::vector<double> shadow_weights;
+    for (std::size_t i = 0; i < cfg_.level_weights.size(); ++i) {
+        if (cfg_.level_weights[i] > 0.0) {
+            shadow_flow_of_level_[i] = static_cast<int>(shadow_weights.size());
+            shadow_weights.push_back(cfg_.level_weights[i]);
+        }
+    }
+    if (!shadow_weights.empty()) {
+        shadow_ = std::make_unique<wfq::WfqScheduler<std::uint64_t>>(shadow_weights);
+    }
+    if (!cfg_.level_weights.empty()) {
+        ensure_level(static_cast<PriorityLevel>(cfg_.level_weights.size() - 1));
+    }
+}
+
+void AuditAccountant::ensure_level(PriorityLevel level) {
+    const std::size_t need = static_cast<std::size_t>(level) + 1;
+    if (next_arrival_seq_.size() >= need) return;
+    next_arrival_seq_.resize(need, 0);
+    last_committed_seq_.resize(need, 0);
+    ordered_per_level_.resize(need, 0);
+    max_service_lag_.resize(need, 0.0);
+}
+
+double AuditAccountant::entitlement_of(std::uint64_t client) const {
+    if (cfg_.entitlements.empty()) return 1.0;
+    const auto it = cfg_.entitlements.find(client);
+    return it == cfg_.entitlements.end() ? 0.0 : it->second;
+}
+
+void AuditAccountant::advance_to(TimePoint at) {
+    while (at >= window_end_) {
+        close_window(window_end_);
+        window_end_ += cfg_.window;
+    }
+}
+
+void AuditAccountant::charge(ResourceKind resource, std::uint64_t client,
+                             const std::string& chaincode, double units, TimePoint at) {
+    if (finalized_ || units <= 0.0) return;
+    advance_to(at);
+    window_activity_ = true;
+    ResourceState& r = resources_[static_cast<std::size_t>(resource)];
+    r.total += units;
+    r.by_client[client] += units;
+    r.by_chaincode[chaincode] += units;
+    r.window_by_client[client] += units;
+}
+
+void AuditAccountant::on_submit(std::uint64_t client, TimePoint at) {
+    if (finalized_) return;
+    advance_to(at);
+    window_activity_ = true;
+    ClientState& c = clients_[client];
+    if (c.submits == 0 && c.terminals == 0) c.last_service = at;
+    ++c.submits;
+    ++c.window_submits;
+}
+
+void AuditAccountant::on_client_terminal(std::uint64_t client, TimePoint at) {
+    if (finalized_) return;
+    advance_to(at);
+    window_activity_ = true;
+    ClientState& c = clients_[client];
+    ++c.terminals;
+    ++c.window_terminals;
+    c.last_service = at;
+    c.starved = false;
+}
+
+void AuditAccountant::on_enqueue(PriorityLevel level, std::uint64_t tx, TimePoint at) {
+    if (finalized_) return;
+    advance_to(at);
+    window_activity_ = true;
+    level = normalize_level(level);
+    ensure_level(level);
+    // A resubmitted envelope re-appends under the same tx id; ordering
+    // bookkeeping keeps the first arrival (FIFO position is set by the
+    // original append — the broker never un-appends).
+    if (arrivals_.count(tx) != 0) return;
+    const std::uint64_t seq = ++next_arrival_seq_[level];
+    arrivals_.emplace(tx, ArrivalInfo{level, seq});
+    if (level < shadow_flow_of_level_.size()) {
+        const int flow = shadow_flow_of_level_[level];
+        if (flow >= 0) shadow_->enqueue(static_cast<std::size_t>(flow), 1.0, tx);
+    }
+}
+
+void AuditAccountant::on_dequeue(PriorityLevel level, std::uint64_t tx, TimePoint at) {
+    if (finalized_) return;
+    advance_to(at);
+    window_activity_ = true;
+    level = normalize_level(level);
+    ensure_level(level);
+    // Crash replay re-consumes the log; count each tx once.
+    if (!dequeued_.insert(tx).second) return;
+    ++ordered_per_level_[level];
+    if (level < shadow_flow_of_level_.size() && shadow_flow_of_level_[level] >= 0) {
+        // Replay the real generator's decision on the shadow SFQ clock, then
+        // sample how far every tracked flow's head now trails virtual time —
+        // that gap is service the real scheduler owes the flow vs ideal SFQ.
+        shadow_->dequeue_flow(static_cast<std::size_t>(shadow_flow_of_level_[level]));
+        for (std::size_t l = 0; l < shadow_flow_of_level_.size(); ++l) {
+            const int flow = shadow_flow_of_level_[l];
+            if (flow < 0) continue;
+            max_service_lag_[l] = std::max(
+                max_service_lag_[l], shadow_->service_lag(static_cast<std::size_t>(flow)));
+        }
+    }
+}
+
+void AuditAccountant::on_commit_order(std::uint64_t block, std::uint64_t tx,
+                                      PriorityLevel level, TimePoint at) {
+    if (finalized_) return;
+    advance_to(at);
+    window_activity_ = true;
+    level = normalize_level(level);
+    ensure_level(level);
+    // Every peer reports the same blocks in the same order; the first
+    // sighting of a tx id is canonical.  Dedup must be by tx, not block:
+    // a second peer's (re)delivery of block N is call-indistinguishable
+    // from the first peer's commit loop.
+    if (!committed_.insert(tx).second) return;
+
+    // (a) Intra-level FIFO: within one priority level, commit order must
+    // follow broker arrival order (Algorithm 2 reads each queue in order).
+    const auto it = arrivals_.find(tx);
+    if (it != arrivals_.end()) {
+        const std::uint64_t seq = it->second.seq;
+        const PriorityLevel arrival_level = it->second.level;
+        ensure_level(arrival_level);
+        const std::uint64_t last = last_committed_seq_[arrival_level];
+        if (last != 0 && seq < last) {
+            ++fifo_violations_;
+            if (trace_) {
+                TraceEvent ev;
+                ev.at = at;
+                ev.type = EventType::kPriorityInversion;
+                ev.actor_kind = ActorKind::kAudit;
+                ev.tx = tx;
+                ev.priority = arrival_level;
+                ev.block = block;
+                ev.value = seq;
+                ev.value2 = last;
+                trace_->emit(ev);
+            }
+        }
+        last_committed_seq_[arrival_level] = std::max(last, seq);
+    }
+
+    // (b) Within a block, levels must be non-decreasing (the canonical block
+    // layout serves whole quotas highest-priority first).
+    if (block != commit_block_) {
+        commit_block_ = block;
+        commit_block_level_ = level;
+    } else if (level < commit_block_level_) {
+        ++block_order_violations_;
+        if (trace_) {
+            TraceEvent ev;
+            ev.at = at;
+            ev.type = EventType::kPriorityInversion;
+            ev.actor_kind = ActorKind::kAudit;
+            ev.tx = tx;
+            ev.priority = level;
+            ev.block = block;
+            ev.value = level;
+            ev.value2 = commit_block_level_;
+            trace_->emit(ev);
+        }
+    } else {
+        commit_block_level_ = level;
+    }
+}
+
+void AuditAccountant::close_window(TimePoint at) {
+    ++windows_closed_;
+
+    // Per-resource window Jain (clients that used any of the resource this
+    // window; a window with < 2 active clients has no fairness question).
+    for (ResourceState& r : resources_) {
+        if (r.window_by_client.size() >= 2) {
+            std::vector<double> xs;
+            xs.reserve(r.window_by_client.size());
+            for (const auto& [client, used] : r.window_by_client) xs.push_back(used);
+            r.jain_window_min = std::min(r.jain_window_min, jain_index(xs));
+            ++r.windows_evaluated;
+        }
+        r.window_by_client.clear();
+    }
+
+    // Unfairness alarm: Jain over entitlement-normalized service rates of
+    // *backlogged* clients.  Fewer than two backlogged clients means there
+    // is no victim pair to compare — that window resets the streak (a
+    // sporadic false-backlog window must not accumulate toward a trip).
+    std::vector<double> service;
+    for (const auto& [client, c] : clients_) {
+        const double arrivals = static_cast<double>(c.window_submits);
+        const double served = static_cast<double>(c.window_terminals);
+        const double slack =
+            std::max(cfg_.backlog_slack_min, cfg_.backlog_slack_frac * arrivals);
+        const double entitled = entitlement_of(client);
+        if (entitled <= 0.0) continue;
+        if (arrivals > served + slack) service.push_back(served / entitled);
+    }
+    if (service.size() >= 2) {
+        ++alarm_windows_evaluated_;
+        const double j = jain_index(service);
+        alarm_jain_min_ = std::min(alarm_jain_min_, j);
+        if (j < cfg_.jain_alarm_threshold) {
+            ++alarm_windows_breached_;
+            ++alarm_streak_;
+            if (alarm_streak_ == cfg_.alarm_consecutive) {
+                ++alarm_trips_;
+                if (trace_) {
+                    TraceEvent ev;
+                    ev.at = at;
+                    ev.type = EventType::kUnfairnessAlarm;
+                    ev.actor_kind = ActorKind::kAudit;
+                    ev.value = static_cast<std::uint64_t>(j * 1e6);
+                    ev.value2 = alarm_streak_;
+                    trace_->emit(ev);
+                }
+            }
+        } else {
+            alarm_streak_ = 0;
+        }
+    } else {
+        alarm_streak_ = 0;
+    }
+
+    // Starvation watchdog: pending work and no terminal event within the
+    // starvation window.  One incident per starvation episode — a terminal
+    // event ends the episode and re-arms the client.
+    for (auto& [client, c] : clients_) {
+        const std::uint64_t pending = c.submits - std::min(c.submits, c.terminals);
+        if (pending == 0 || c.starved) continue;
+        if (at - c.last_service >= cfg_.starvation_window) {
+            c.starved = true;
+            ++c.incidents;
+            ++starvation_incidents_;
+            if (trace_) {
+                TraceEvent ev;
+                ev.at = at;
+                ev.type = EventType::kStarvation;
+                ev.actor_kind = ActorKind::kAudit;
+                ev.actor = client;
+                ev.value = pending;
+                ev.value2 = c.incidents;
+                trace_->emit(ev);
+            }
+        }
+    }
+
+    // Shadow lag can also grow while a level goes unserved; sample at the
+    // window edge too, not only on dequeues.
+    for (std::size_t l = 0; l < shadow_flow_of_level_.size(); ++l) {
+        const int flow = shadow_flow_of_level_[l];
+        if (flow < 0) continue;
+        max_service_lag_[l] = std::max(
+            max_service_lag_[l], shadow_->service_lag(static_cast<std::size_t>(flow)));
+    }
+
+    for (auto& [client, c] : clients_) {
+        c.window_submits = 0;
+        c.window_terminals = 0;
+    }
+    window_activity_ = false;
+}
+
+void AuditAccountant::finalize(TimePoint now) {
+    if (finalized_) return;
+    advance_to(now);
+    if (window_activity_) close_window(now);
+    finalized_ = true;
+
+    report_.window_s = cfg_.window.as_seconds();
+    report_.starvation_window_s = cfg_.starvation_window.as_seconds();
+    report_.jain_threshold = cfg_.jain_alarm_threshold;
+    report_.alarm_k = cfg_.alarm_consecutive;
+    report_.windows_closed = windows_closed_;
+
+    for (std::size_t i = 0; i < kResourceCount; ++i) {
+        const ResourceState& r = resources_[i];
+        ResourceReport& out = report_.resources[i];
+        out.total = r.total;
+        out.by_client = r.by_client;
+        out.by_chaincode = r.by_chaincode;
+        out.jain_window_min = r.jain_window_min;
+        out.windows_evaluated = r.windows_evaluated;
+        std::vector<double> xs;
+        xs.reserve(r.by_client.size());
+        for (const auto& [client, used] : r.by_client) xs.push_back(used);
+        out.jain_overall = jain_index(xs);
+    }
+
+    double weight_sum = 0.0;
+    for (const double w : cfg_.level_weights) {
+        if (w > 0.0) weight_sum += w;
+    }
+    std::uint64_t total_ordered = 0;
+    for (const std::uint64_t n : ordered_per_level_) total_ordered += n;
+    report_.levels.resize(ordered_per_level_.size());
+    for (std::size_t l = 0; l < ordered_per_level_.size(); ++l) {
+        LevelReport& out = report_.levels[l];
+        out.ordered = ordered_per_level_[l];
+        out.share = total_ordered == 0
+                        ? 0.0
+                        : static_cast<double>(out.ordered) / static_cast<double>(total_ordered);
+        out.entitled = (l < cfg_.level_weights.size() && cfg_.level_weights[l] > 0.0 &&
+                        weight_sum > 0.0)
+                           ? cfg_.level_weights[l] / weight_sum
+                           : 0.0;
+        out.deviation = out.share - out.entitled;
+        out.max_service_lag = max_service_lag_[l];
+    }
+    report_.shadow_virtual_time = shadow_ ? shadow_->virtual_time() : 0.0;
+
+    report_.fifo_violations = fifo_violations_;
+    report_.block_order_violations = block_order_violations_;
+    report_.priority_inversions = fifo_violations_ + block_order_violations_;
+
+    report_.starvation_incidents = starvation_incidents_;
+    for (const auto& [client, c] : clients_) {
+        if (c.incidents > 0) report_.starved_clients.emplace(client, c.incidents);
+    }
+
+    report_.alarm_trips = alarm_trips_;
+    report_.alarm_windows_breached = alarm_windows_breached_;
+    report_.alarm_windows_evaluated = alarm_windows_evaluated_;
+    report_.alarm_jain_min = alarm_jain_min_;
+}
+
+void write_audit_json(JsonWriter& json, const AuditReport& report) {
+    json.begin_object();
+    json.field("window_s", report.window_s);
+    json.field("starvation_window_s", report.starvation_window_s);
+    json.field("jain_threshold", report.jain_threshold);
+    json.field("alarm_k", report.alarm_k);
+    json.field("windows_closed", report.windows_closed);
+
+    json.key("resources");
+    json.begin_object();
+    for (std::size_t i = 0; i < kResourceCount; ++i) {
+        const ResourceReport& r = report.resources[i];
+        json.key(to_string(static_cast<ResourceKind>(i)));
+        json.begin_object();
+        json.field("total", r.total);
+        json.field("jain_overall", r.jain_overall);
+        json.field("jain_window_min", r.jain_window_min);
+        json.field("windows_evaluated", r.windows_evaluated);
+        json.key("by_client");
+        json.begin_object();
+        for (const auto& [client, used] : r.by_client) {
+            json.field(std::to_string(client), used);
+        }
+        json.end_object();
+        json.key("by_chaincode");
+        json.begin_object();
+        for (const auto& [chaincode, used] : r.by_chaincode) {
+            json.field(chaincode, used);
+        }
+        json.end_object();
+        json.end_object();
+    }
+    json.end_object();
+
+    json.key("levels");
+    json.begin_array();
+    for (const LevelReport& l : report.levels) {
+        json.begin_object();
+        json.field("ordered", l.ordered);
+        json.field("share", l.share);
+        json.field("entitled", l.entitled);
+        json.field("deviation", l.deviation);
+        json.field("max_service_lag", l.max_service_lag);
+        json.end_object();
+    }
+    json.end_array();
+    json.field("shadow_virtual_time", report.shadow_virtual_time);
+
+    json.field("fifo_violations", report.fifo_violations);
+    json.field("block_order_violations", report.block_order_violations);
+    json.field("priority_inversions", report.priority_inversions);
+
+    json.field("starvation_incidents", report.starvation_incidents);
+    json.key("starved_clients");
+    json.begin_object();
+    for (const auto& [client, incidents] : report.starved_clients) {
+        json.field(std::to_string(client), incidents);
+    }
+    json.end_object();
+
+    json.field("alarm_trips", report.alarm_trips);
+    json.field("alarm_windows_breached", report.alarm_windows_breached);
+    json.field("alarm_windows_evaluated", report.alarm_windows_evaluated);
+    json.field("alarm_jain_min", report.alarm_jain_min);
+    json.end_object();
+}
+
+}  // namespace fl::obs::audit

@@ -1,0 +1,264 @@
+// Resource-accounting and fairness-audit subsystem.
+//
+// The paper's thesis is that its weighted-fair multi-queue block formation
+// (Algorithm 1/2) preserves resource fairness and priority order under load.
+// bench/fig6_fairness demonstrates this with latency curves; this module
+// *measures* it: simulated cost units are attributed to each client and
+// chaincode at every pipeline stage, rolling fairness indices and violation
+// detectors run online over audit windows, and the result is a deterministic
+// `audit` block in write_metrics_json plus typed trace events — the shape of
+// per-stage attribution argued for by "Performance Characterization and
+// Bottleneck Analysis of Hyperledger Fabric" (PAPERS.md).
+//
+// Determinism contract (DESIGN.md §14): the accountant is passive.  It
+// schedules no simulator events, draws no randomness, and holds no Simulator
+// reference — every hook carries an explicit `at` timestamp and windows close
+// lazily when an observation (or finalize) crosses a window boundary.  Its
+// entire state is therefore a pure function of the event stream, which is a
+// pure function of (seed, config), so the audit JSON inherits the
+// byte-identical-at-any---threads guarantee for free.
+//
+// Cost contract: like TraceSink, components hold an `AuditAccountant*` that
+// is null unless --audit was requested; every hook site is
+// `if (audit_) audit_->...` over integer/double fields.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "obs/trace.h"
+#include "wfq/wfq.h"
+
+namespace fl {
+class JsonWriter;
+}
+
+namespace fl::obs::audit {
+
+/// The four simulated resources the pipeline spends on a transaction's
+/// behalf.  Indices are stable (serialized to JSON in this order).
+enum class ResourceKind : std::uint8_t {
+    kEndorseCpu = 0,     ///< endorsement execute+sign seconds, all peers
+    kOrderingBandwidth,  ///< wire bytes appended to the ordering broker
+    kValidationCpu,      ///< per-tx validation seconds, all peers
+    kStateIo,            ///< world-state writes applied (valid txs only)
+};
+inline constexpr std::size_t kResourceCount = 4;
+[[nodiscard]] const char* to_string(ResourceKind kind);
+
+struct AuditConfig {
+    /// Rolling audit window; fairness indices and the detectors are
+    /// evaluated once per window close.
+    Duration window = Duration::seconds(1);
+    /// A client with pending work and no terminal event for this long is
+    /// starved.
+    Duration starvation_window = Duration::seconds(3);
+    /// Unfairness alarm: service-Jain below this ...
+    double jain_alarm_threshold = 0.85;
+    /// ... for this many consecutive evaluated windows trips the alarm.
+    std::uint32_t alarm_consecutive = 3;
+    /// A client is "backlogged" in a window iff
+    ///   arrivals > served + max(backlog_slack_min, backlog_slack_frac * arrivals)
+    /// — the slack absorbs pipeline latency (work submitted near the window
+    /// edge completes next window) so saturated-but-served clients don't
+    /// read as victims.
+    double backlog_slack_frac = 0.25;
+    double backlog_slack_min = 2.0;
+    /// Per-client service entitlements (client id -> weight).  Empty means
+    /// equal entitlement across every client observed submitting.
+    std::map<std::uint64_t, double> entitlements;
+    /// Per-level weights for the shadow SFQ scheduler (the ideal the block
+    /// generator approximates).  Levels with weight <= 0 (best-effort under
+    /// a "1:1:0" policy) are excluded from the shadow: ideal SFQ has no
+    /// notion of a zero-weight flow, so their service lag reports 0.
+    std::vector<double> level_weights;
+};
+
+/// Per-resource slice of the final report.
+struct ResourceReport {
+    double total = 0.0;
+    /// Jain over cumulative per-client usage (clients that used any).
+    double jain_overall = 1.0;
+    /// Minimum per-window Jain across windows with >= 2 active clients.
+    double jain_window_min = 1.0;
+    std::uint64_t windows_evaluated = 0;
+    std::map<std::uint64_t, double> by_client;
+    std::map<std::string, double> by_chaincode;
+};
+
+/// Per-priority-level slice: observed ordering share vs quota entitlement.
+struct LevelReport {
+    std::uint64_t ordered = 0;  ///< txs the block generator consumed
+    double share = 0.0;         ///< ordered / total ordered
+    double entitled = 0.0;      ///< normalized level weight
+    double deviation = 0.0;     ///< share - entitled
+    double max_service_lag = 0.0;  ///< worst shadow-SFQ lag, work units (txs)
+};
+
+struct AuditReport {
+    double window_s = 0.0;
+    double starvation_window_s = 0.0;
+    double jain_threshold = 0.0;
+    std::uint64_t alarm_k = 0;
+    std::uint64_t windows_closed = 0;
+
+    std::array<ResourceReport, kResourceCount> resources;
+    std::vector<LevelReport> levels;
+    double shadow_virtual_time = 0.0;
+
+    std::uint64_t fifo_violations = 0;
+    std::uint64_t block_order_violations = 0;
+    std::uint64_t priority_inversions = 0;  ///< fifo + block order
+
+    std::uint64_t starvation_incidents = 0;
+    std::map<std::uint64_t, std::uint64_t> starved_clients;  ///< client -> incidents
+
+    std::uint64_t alarm_trips = 0;
+    std::uint64_t alarm_windows_breached = 0;
+    std::uint64_t alarm_windows_evaluated = 0;
+    double alarm_jain_min = 1.0;
+};
+
+/// Serializes `report` as one JSON object (keys in declaration order, all
+/// containers ordered) — deterministic bytes for the sweep contract.
+void write_audit_json(JsonWriter& json, const AuditReport& report);
+
+/// The accountant.  One instance per experiment run, single-threaded like
+/// everything inside one simulation.  Wire with FabricNetwork::set_audit();
+/// call finalize(sim.now()) after the run drains, then read report().
+class AuditAccountant {
+public:
+    explicit AuditAccountant(AuditConfig config);
+
+    /// Optional: detectors additionally emit kPriorityInversion /
+    /// kStarvation / kUnfairnessAlarm events into this sink.
+    void set_trace(TraceSink* sink) { trace_ = sink; }
+
+    // -- resource meters ----------------------------------------------------
+    void charge(ResourceKind resource, std::uint64_t client,
+                const std::string& chaincode, double units, TimePoint at);
+
+    // -- pipeline observations ----------------------------------------------
+    /// Client built + broadcast a proposal.
+    void on_submit(std::uint64_t client, TimePoint at);
+    /// Client reached a terminal state for one tx (commit notice, abort
+    /// notice, or client-side failure) — this is "service" for the
+    /// starvation watchdog and the unfairness alarm.
+    void on_client_terminal(std::uint64_t client, TimePoint at);
+    /// Broker appended the tx to priority topic `level` (resubmissions of
+    /// the same tx id are ignored for ordering bookkeeping; charge() their
+    /// bandwidth separately — the wire cost is real every time).
+    void on_enqueue(PriorityLevel level, std::uint64_t tx, TimePoint at);
+    /// Block generator consumed the tx from `level` (crash-replay safe:
+    /// duplicate tx ids are ignored).
+    void on_dequeue(PriorityLevel level, std::uint64_t tx, TimePoint at);
+    /// A peer committed/aborted the tx at `block` — feeds the
+    /// priority-inversion detector.  Every peer reports; the first sighting
+    /// of each tx id is canonical (all peers commit identical blocks).
+    void on_commit_order(std::uint64_t block, std::uint64_t tx,
+                         PriorityLevel level, TimePoint at);
+
+    /// Close all windows up to `now` (plus a final partial window if it saw
+    /// activity) and freeze the report.  Idempotent.
+    void finalize(TimePoint now);
+
+    [[nodiscard]] const AuditReport& report() const { return report_; }
+
+    // -- live counters (gauge hooks; valid before finalize) ------------------
+    [[nodiscard]] std::uint64_t priority_inversions() const {
+        return fifo_violations_ + block_order_violations_;
+    }
+    [[nodiscard]] std::uint64_t starvation_incidents() const {
+        return starvation_incidents_;
+    }
+    [[nodiscard]] std::uint64_t alarm_trips() const { return alarm_trips_; }
+    [[nodiscard]] std::uint64_t windows_closed() const { return windows_closed_; }
+
+private:
+    struct ClientState {
+        std::uint64_t submits = 0;
+        std::uint64_t terminals = 0;
+        std::uint64_t window_submits = 0;
+        std::uint64_t window_terminals = 0;
+        TimePoint last_service;  ///< init = first submit; reset on terminal
+        bool starved = false;
+        std::uint64_t incidents = 0;
+    };
+    struct ResourceState {
+        double total = 0.0;
+        std::map<std::uint64_t, double> by_client;
+        std::map<std::string, double> by_chaincode;
+        std::map<std::uint64_t, double> window_by_client;
+        double jain_window_min = 1.0;
+        std::uint64_t windows_evaluated = 0;
+    };
+    struct ArrivalInfo {
+        PriorityLevel level = 0;
+        std::uint64_t seq = 0;  ///< 1-based FIFO position within the level
+    };
+
+    void advance_to(TimePoint at);
+    void close_window(TimePoint at);
+    /// The un-prioritized (FIFO) pipeline carries the kUnassignedPriority
+    /// sentinel; account it as the single level 0 (never index by the
+    /// sentinel — ensure_level would try to allocate 2^32 slots).
+    [[nodiscard]] static PriorityLevel normalize_level(PriorityLevel level) {
+        return level == kUnassignedPriority ? 0 : level;
+    }
+    void ensure_level(PriorityLevel level);
+    [[nodiscard]] double entitlement_of(std::uint64_t client) const;
+
+    AuditConfig cfg_;
+    TraceSink* trace_ = nullptr;
+
+    // Window machinery.
+    TimePoint window_end_;
+    std::uint64_t windows_closed_ = 0;
+    bool window_activity_ = false;
+    bool finalized_ = false;
+
+    // Meters + per-client service accounting (ordered: serialized).
+    std::array<ResourceState, kResourceCount> resources_;
+    std::map<std::uint64_t, ClientState> clients_;
+
+    // Ordering bookkeeping (per level, index = PriorityLevel).
+    std::vector<std::uint64_t> next_arrival_seq_;
+    std::vector<std::uint64_t> last_committed_seq_;  ///< seq+1; 0 = none yet
+    std::vector<std::uint64_t> ordered_per_level_;
+    std::vector<double> max_service_lag_;
+    std::unordered_map<std::uint64_t, ArrivalInfo> arrivals_;
+    std::unordered_set<std::uint64_t> dequeued_;
+    std::unordered_set<std::uint64_t> committed_;
+
+    // Priority-inversion detector.
+    std::uint64_t fifo_violations_ = 0;
+    std::uint64_t block_order_violations_ = 0;
+    std::uint64_t commit_block_ = kNoBlock;  ///< block of the last new commit
+    PriorityLevel commit_block_level_ = 0;   ///< last level seen in that block
+
+    // Starvation watchdog.
+    std::uint64_t starvation_incidents_ = 0;
+
+    // Unfairness alarm.
+    std::uint32_t alarm_streak_ = 0;
+    std::uint64_t alarm_trips_ = 0;
+    std::uint64_t alarm_windows_breached_ = 0;
+    std::uint64_t alarm_windows_evaluated_ = 0;
+    double alarm_jain_min_ = 1.0;
+
+    // Shadow ideal scheduler (levels with weight > 0 only).
+    std::unique_ptr<wfq::WfqScheduler<std::uint64_t>> shadow_;
+    std::vector<int> shadow_flow_of_level_;  ///< -1 = excluded
+
+    AuditReport report_;
+};
+
+}  // namespace fl::obs::audit

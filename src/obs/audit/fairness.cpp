@@ -1,0 +1,32 @@
+#include "obs/audit/fairness.h"
+
+#include <stdexcept>
+
+namespace fl::obs::audit {
+
+double jain_index(const std::vector<double>& shares) {
+    if (shares.size() < 2) return 1.0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double x : shares) {
+        if (x < 0.0) x = 0.0;
+        sum += x;
+        sum_sq += x * x;
+    }
+    if (sum_sq == 0.0) return 1.0;
+    return (sum * sum) / (static_cast<double>(shares.size()) * sum_sq);
+}
+
+std::vector<double> normalize_by_entitlement(const std::vector<double>& shares,
+                                             const std::vector<double>& entitlements) {
+    if (shares.size() != entitlements.size()) {
+        throw std::invalid_argument("normalize_by_entitlement: size mismatch");
+    }
+    std::vector<double> out(shares.size(), 0.0);
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+        if (entitlements[i] > 0.0) out[i] = shares[i] / entitlements[i];
+    }
+    return out;
+}
+
+}  // namespace fl::obs::audit

@@ -1,0 +1,33 @@
+// Fairness math for the audit subsystem — pure functions, no state.
+//
+// The central quantity is Jain's fairness index (Jain, Chiu, Hawe 1984):
+//
+//   J(x_1..x_n) = (sum x_i)^2 / (n * sum x_i^2)
+//
+// J is scale-free, ranges over [1/n, 1], hits 1.0 exactly when every x_i is
+// equal, and degrades smoothly as shares diverge — which is why "Fair and
+// Efficient Gossip in Hyperledger Fabric" (PAPERS.md) uses it to quantify
+// per-peer dissemination fairness instead of eyeballing curves.  We apply
+// the same index to per-client resource shares and per-client service rates
+// (entitlement-normalized, so unequal quotas still score 1.0 when honored).
+#pragma once
+
+#include <vector>
+
+namespace fl::obs::audit {
+
+/// Jain's index over the given shares.  Conventions for the degenerate
+/// cases, chosen so detectors fail safe (report "fair" when there is
+/// nothing to compare):
+///   * empty or single-element input -> 1.0 (fairness of one party is moot)
+///   * all-zero input -> 1.0 (nobody served: equally bad is still equal)
+/// Negative shares are invalid input and are clamped to zero.
+[[nodiscard]] double jain_index(const std::vector<double>& shares);
+
+/// shares[i] / entitlements[i] with guards: a non-positive entitlement maps
+/// the share to 0 (the flow is not entitled to anything, so any service is
+/// "extra" and must not dominate the index).  Sizes must match.
+[[nodiscard]] std::vector<double> normalize_by_entitlement(
+    const std::vector<double>& shares, const std::vector<double>& entitlements);
+
+}  // namespace fl::obs::audit

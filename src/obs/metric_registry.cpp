@@ -9,6 +9,11 @@ namespace fl::obs {
 
 void MetricRegistry::add_gauge(std::string name, GaugeFn fn) {
     if (!fn) throw std::invalid_argument("MetricRegistry: null gauge " + name);
+    for (const std::string& existing : names_) {
+        if (existing == name) {
+            throw std::invalid_argument("MetricRegistry: duplicate gauge " + name);
+        }
+    }
     names_.push_back(std::move(name));
     gauges_.push_back(std::move(fn));
 }
@@ -57,6 +62,33 @@ void TimeSeriesRecorder::write_jsonl(std::ostream& os) const {
         }
         os << "}\n";
     }
+    // Footer: per-series summary stats so a consumer need not re-derive the
+    // envelope of each gauge from the samples.  One line, keyed "summary" —
+    // flat sample lines never carry that key, so the framing stays parseable
+    // line-by-line.
+    os << R"({"summary":{)";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        double lo = 0.0;
+        double hi = 0.0;
+        double sum = 0.0;
+        double last = 0.0;
+        std::size_t n = 0;
+        for (const Sample& s : samples_) {
+            if (i >= s.values.size()) continue;
+            const double v = s.values[i];
+            if (n == 0 || v < lo) lo = v;
+            if (n == 0 || v > hi) hi = v;
+            sum += v;
+            last = v;
+            ++n;
+        }
+        if (i != 0) os << ",";
+        os << "\"" << names[i] << R"(":{"min":)" << json_number(lo)
+           << ",\"max\":" << json_number(hi) << ",\"mean\":"
+           << json_number(n == 0 ? 0.0 : sum / static_cast<double>(n))
+           << ",\"last\":" << json_number(last) << "}";
+    }
+    os << "}}\n";
 }
 
 }  // namespace fl::obs

@@ -34,7 +34,9 @@ public:
     using GaugeFn = std::function<double()>;
 
     /// Registers a gauge; sampled in registration order.  `name` must be a
-    /// JSON-safe identifier (letters, digits, underscores).
+    /// JSON-safe identifier (letters, digits, underscores) and unique —
+    /// re-registering a name throws std::invalid_argument (a duplicate key
+    /// would silently shadow the first series in every JSONL consumer).
     void add_gauge(std::string name, GaugeFn fn);
 
     [[nodiscard]] const std::vector<std::string>& names() const { return names_; }
@@ -68,7 +70,9 @@ public:
     [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
     [[nodiscard]] const MetricRegistry& registry() const { return registry_; }
 
-    /// One flat JSON object per sample: {"t_s": ..., "<gauge>": ..., ...}.
+    /// One flat JSON object per sample: {"t_s": ..., "<gauge>": ..., ...},
+    /// then one footer line {"summary":{"<gauge>":{min,max,mean,last},...}}
+    /// with per-series stats over the captured samples.
     void write_jsonl(std::ostream& os) const;
 
 private:

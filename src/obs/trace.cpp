@@ -30,6 +30,9 @@ const char* to_string(EventType type) {
     case EventType::kFault: return "fault";
     case EventType::kConflictGraph: return "conflict_graph";
     case EventType::kValidationWave: return "validation_wave";
+    case EventType::kPriorityInversion: return "priority_inversion";
+    case EventType::kStarvation: return "starvation";
+    case EventType::kUnfairnessAlarm: return "unfairness_alarm";
     }
     return "unknown";
 }
@@ -40,6 +43,7 @@ const char* to_string(ActorKind kind) {
     case ActorKind::kPeer: return "peer";
     case ActorKind::kOsn: return "osn";
     case ActorKind::kBroker: return "broker";
+    case ActorKind::kAudit: return "audit";
     }
     return "unknown";
 }

@@ -54,10 +54,13 @@ enum class EventType : std::uint8_t {
     kFault,            ///< injected fault applied            (actor by kind, value=fault::FaultKind, value2=target)
     kConflictGraph,    ///< parallel validator scheduled a block (peer, block, value=components, value2=edges)
     kValidationWave,   ///< one conflict-resolution wave ran  (peer, block, value=wave index, value2=txs in wave)
+    kPriorityInversion,  ///< audit: commit order violated priority/arrival order (audit, tx, priority, block, value=arrival seq, value2=prior seq)
+    kStarvation,         ///< audit: client saw no service in a window (audit, actor=client, value=pending, value2=incident #)
+    kUnfairnessAlarm,    ///< audit: Jain below threshold K windows  (audit, value=jain micro-units, value2=streak)
 };
 [[nodiscard]] const char* to_string(EventType type);
 
-enum class ActorKind : std::uint8_t { kClient = 0, kPeer, kOsn, kBroker };
+enum class ActorKind : std::uint8_t { kClient = 0, kPeer, kOsn, kBroker, kAudit };
 [[nodiscard]] const char* to_string(ActorKind kind);
 
 /// One typed event.  POD on purpose: emit sites fill integer fields only.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "obs/audit/audit.h"
 #include "obs/trace.h"
 
 namespace fl::orderer {
@@ -164,6 +165,10 @@ bool MultiQueueBlockGenerator::scan_once() {
                 ev.priority = static_cast<PriorityLevel>(i);
                 ev.block = block_number_;
                 trace_->emit(ev);
+            }
+            if (audit_) {
+                audit_->on_dequeue(static_cast<PriorityLevel>(i),
+                                   rec.envelope->tx_id().value(), sim_.now());
             }
             subs_[i]->pop();
             --remaining_[i];

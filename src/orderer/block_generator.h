@@ -43,6 +43,9 @@
 namespace fl::obs {
 class TraceSink;
 }
+namespace fl::obs::audit {
+class AuditAccountant;
+}
 
 namespace fl::orderer {
 
@@ -111,6 +114,12 @@ public:
         trace_actor_ = actor;
     }
 
+    /// Attaches the fairness-audit accountant (null detaches).  The audit
+    /// layer observes dequeues on exactly one OSN's generator (they all cut
+    /// identical blocks; FabricNetwork wires OSN 0) and tx-id-dedups, so
+    /// crash replay cannot double-count.
+    void set_audit(obs::audit::AuditAccountant* audit) { audit_ = audit; }
+
     [[nodiscard]] BlockNumber current_block() const { return block_number_; }
     [[nodiscard]] std::uint64_t blocks_cut() const { return blocks_cut_; }
     [[nodiscard]] std::uint64_t ttcs_sent() const { return ttcs_sent_; }
@@ -177,6 +186,7 @@ private:
 
     obs::TraceSink* trace_ = nullptr;  // null unless a trace was requested
     std::uint64_t trace_actor_ = 0;
+    obs::audit::AuditAccountant* audit_ = nullptr;
 };
 
 }  // namespace fl::orderer

@@ -55,11 +55,17 @@ void Osn::start() {
         [this](BlockNumber bn) { send_ttc(bn); },
         [this](CutResult result) { on_cut(std::move(result)); });
     generator_->set_trace(trace_, id_.value());
+    generator_->set_audit(audit_);
 }
 
 void Osn::set_trace(obs::TraceSink* sink) {
     trace_ = sink;
     if (generator_) generator_->set_trace(trace_, id_.value());
+}
+
+void Osn::set_audit(obs::audit::AuditAccountant* audit) {
+    audit_ = audit;
+    if (generator_) generator_->set_audit(audit_);
 }
 
 void Osn::crash() {

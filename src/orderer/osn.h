@@ -125,6 +125,10 @@ public:
     /// generator, so this works both before and after start().
     void set_trace(obs::TraceSink* sink);
 
+    /// Attaches the fairness-audit accountant (null detaches); forwarded to
+    /// the block generator like set_trace, and re-forwarded on restart().
+    void set_audit(obs::audit::AuditAccountant* audit);
+
     [[nodiscard]] OsnId id() const { return id_; }
     [[nodiscard]] NodeId node() const { return node_; }
 
@@ -201,6 +205,7 @@ private:
     std::uint64_t blocks_delivered_ = 0;
 
     obs::TraceSink* trace_ = nullptr;
+    obs::audit::AuditAccountant* audit_ = nullptr;
 };
 
 }  // namespace fl::orderer

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "obs/audit/audit.h"
 #include "obs/trace.h"
 
 namespace fl::peer {
@@ -58,6 +59,10 @@ void Peer::handle_proposal(const ledger::Proposal& proposal,
                     params_.endorse_sign_cost;
     if (endorse_slowdown_ != 1.0) {
         cost = Duration::from_seconds(cost.as_seconds() * endorse_slowdown_);
+    }
+    if (audit_) {
+        audit_->charge(obs::audit::ResourceKind::kEndorseCpu, proposal.client.value(),
+                       proposal.chaincode, cost.as_seconds(), sim_.now());
     }
     endorse_cpu_.submit(cost, [this, proposal, load, reply = std::move(reply)] {
         CalculatorContext ctx;
@@ -172,6 +177,30 @@ void Peer::commit_block(const ledger::Block& block) {
     // Notify submitting clients registered at this peer.
     for (std::size_t i = 0; i < block.transactions.size(); ++i) {
         const ledger::Envelope& tx = block.transactions[i];
+        if (audit_) {
+            // Attribute this tx's slice of block_validation_cost (the
+            // per-block overhead is unattributable and stays out); state
+            // I/O counts applied writes, so only valid txs pay it.
+            Duration vcost =
+                params_.validate_per_tx_cost + params_.commit_per_tx_cost +
+                params_.verify_per_endorsement_cost *
+                    static_cast<std::int64_t>(tx.endorsements.size()) /
+                    params_.validation_parallelism;
+            if (channel_.priority_enabled) {
+                vcost += params_.priority_check_per_tx_cost;
+            }
+            audit_->charge(obs::audit::ResourceKind::kValidationCpu,
+                           tx.proposal.client.value(), tx.proposal.chaincode,
+                           vcost.as_seconds(), sim_.now());
+            if (is_valid(outcome.codes[i])) {
+                audit_->charge(obs::audit::ResourceKind::kStateIo,
+                               tx.proposal.client.value(), tx.proposal.chaincode,
+                               static_cast<double>(tx.rwset.writes.size()),
+                               sim_.now());
+            }
+            audit_->on_commit_order(block.header.number, tx.tx_id().value(),
+                                    tx.consolidated_priority, sim_.now());
+        }
         if (trace_) {
             obs::TraceEvent ev;
             ev.at = sim_.now();

@@ -32,6 +32,9 @@
 namespace fl::obs {
 class TraceSink;
 }
+namespace fl::obs::audit {
+class AuditAccountant;
+}
 
 namespace fl::peer {
 
@@ -129,6 +132,10 @@ public:
     /// Attaches a trace sink (null detaches).  Emit sites branch on null, so
     /// untraced peers pay one predicted-not-taken branch per event site.
     void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
+    /// Attaches the fairness-audit accountant (null detaches); charges
+    /// endorse/validation CPU and state I/O, and reports commit order.
+    void set_audit(obs::audit::AuditAccountant* audit) { audit_ = audit; }
 
     // -- fault injection ----------------------------------------------------
     /// Takes the endorsement service down (true) or up (false).  While down,
@@ -236,6 +243,7 @@ private:
     std::unordered_map<TxValidationCode, std::uint64_t> invalid_by_code_;
 
     obs::TraceSink* trace_ = nullptr;
+    obs::audit::AuditAccountant* audit_ = nullptr;
 };
 
 }  // namespace fl::peer

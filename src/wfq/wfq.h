@@ -129,6 +129,34 @@ public:
         return Scheduled<T>{best, std::move(pkt.item)};
     }
 
+    /// Dequeues the head packet of a *specific* flow, advancing the virtual
+    /// clock exactly as dequeue() would had SFQ picked it.  This is the
+    /// shadow-scheduler hook for the fairness audit (obs/audit): the real
+    /// block generator decides which level to serve, the audit replays that
+    /// decision here, and any gap between a flow's head start tag and V is
+    /// the service lag the real scheduler has accumulated versus ideal SFQ.
+    std::optional<T> dequeue_flow(std::size_t flow) {
+        Flow& f = flow_ref(flow);
+        if (f.queue.empty()) return std::nullopt;
+        Packet pkt = std::move(f.queue.front());
+        f.queue.pop_front();
+        --size_;
+        virtual_time_ = std::max(virtual_time_, pkt.start);
+        served_work_.resize(flows_.size(), 0.0);
+        served_work_[flow] += pkt.cost;
+        return std::move(pkt.item);
+    }
+
+    /// Weighted service lag of `flow`: how far the flow's head-of-line start
+    /// tag trails the virtual clock, scaled by its weight so lags compare
+    /// across flows in units of work.  Zero for idle flows (SFQ gives no
+    /// credit for idling, so an empty flow is by definition not lagging).
+    [[nodiscard]] double service_lag(std::size_t flow) const {
+        const Flow& f = flow_ref(flow);
+        if (f.queue.empty()) return 0.0;
+        return std::max(0.0, f.weight * (virtual_time_ - f.queue.front().start));
+    }
+
     /// Total cost served from `flow` so far (for fairness-bound tests).
     [[nodiscard]] double served(std::size_t flow) const {
         if (flow >= served_work_.size()) return 0.0;

@@ -7,6 +7,7 @@
 
 #include "core/fabric_network.h"
 #include "core/metrics.h"
+#include "obs/audit/audit.h"
 
 namespace fl::core {
 namespace {
@@ -162,6 +163,71 @@ TEST(MetricsTest, DegradationBlockAlwaysPresentWithZeros) {
     EXPECT_NE(json.find("\"resubmissions\": 0"), std::string::npos);
     // No retries recorded -> the per-chaincode degradation map is empty.
     EXPECT_NE(json.find("\"by_chaincode\": {}"), std::string::npos);
+}
+
+// --------------------------------------------- percentile + audit JSON schema
+
+TEST(MetricsTest, PhaseLatencyByPriorityJsonSchemaPinned) {
+    MetricsCollector m;
+    // 100 txs at level 1 with latencies 0.01..1.00 s: the histogram's
+    // percentile estimates are well-populated and deterministic.
+    for (int i = 1; i <= 100; ++i) {
+        m.record(make_record(static_cast<std::uint64_t>(i), 1, i * 0.01,
+                             TxValidationCode::kValid));
+    }
+    std::ostringstream os;
+    write_metrics_json(os, m);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"phase_latency_by_priority\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"1\": {"), std::string::npos);
+    for (const char* phase : {"\"endorsement\"", "\"ordering\"",
+                              "\"validation\"", "\"notification\""}) {
+        EXPECT_NE(json.find(phase), std::string::npos) << phase;
+    }
+    for (const char* key : {"\"count\"", "\"mean_s\"", "\"p50_s\"", "\"p95_s\"",
+                            "\"p99_s\"", "\"min_s\"", "\"max_s\""}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(MetricsTest, PercentilesOrderedAndBracketedByEnvelope) {
+    MetricsCollector m;
+    for (int i = 1; i <= 100; ++i) {
+        m.record(make_record(static_cast<std::uint64_t>(i), 0, i * 0.01,
+                             TxValidationCode::kValid));
+    }
+    const Histogram& overall = m.overall();
+    EXPECT_EQ(overall.count(), 100u);
+    EXPECT_LE(overall.min(), overall.percentile(50.0));
+    EXPECT_LE(overall.percentile(50.0), overall.percentile(95.0));
+    EXPECT_LE(overall.percentile(95.0), overall.percentile(99.0));
+    EXPECT_LE(overall.percentile(99.0), overall.max());
+    // Uniform 0.01..1.00 s: the median estimate must land near 0.5 s.
+    EXPECT_NEAR(overall.percentile(50.0), 0.5, 0.1);
+}
+
+TEST(MetricsTest, AuditBlockOnlyWithReport) {
+    MetricsCollector m;
+    m.record(make_record(1, 0, 1.0, TxValidationCode::kValid));
+
+    std::ostringstream without;
+    write_metrics_json(without, m);
+    EXPECT_EQ(without.str().find("\"audit\""), std::string::npos);
+
+    // The 3-arg overload with nullptr is the 2-arg overload, byte for byte.
+    std::ostringstream with_null;
+    write_metrics_json(with_null, m, nullptr);
+    EXPECT_EQ(without.str(), with_null.str());
+
+    obs::audit::AuditReport report;
+    report.window_s = 1.0;
+    report.alarm_trips = 2;
+    std::ostringstream with_audit;
+    write_metrics_json(with_audit, m, &report);
+    const std::string json = with_audit.str();
+    EXPECT_NE(json.find("\"audit\""), std::string::npos);
+    EXPECT_NE(json.find("\"alarm_trips\""), std::string::npos);
+    EXPECT_NE(json.find("\"priority_inversions\""), std::string::npos);
 }
 
 // --------------------------------------------------------- config validation

@@ -179,5 +179,76 @@ TEST(CliParseTest, SeedZeroIsAllowed) {
     EXPECT_EQ(parse({"--seed", "0"}).base_seed, 0u);
 }
 
+// -- fairness-audit flags -----------------------------------------------------
+
+TEST(CliParseTest, AuditFlagsDefaultOff) {
+    const SweepCli cli = parse({"--txs", "10"});
+    EXPECT_FALSE(cli.audit);
+    EXPECT_FALSE(cli.audit_window_seen);
+    EXPECT_EQ(cli.audit_window_ms, 1000u);
+}
+
+TEST(CliParseTest, AuditFlagsParse) {
+    const SweepCli cli = parse({"--audit", "--audit-window", "250"});
+    EXPECT_TRUE(cli.audit);
+    EXPECT_TRUE(cli.audit_window_seen);
+    EXPECT_EQ(cli.audit_window_ms, 250u);
+    EXPECT_EQ(cli.audit_config().window, Duration::millis(250));
+}
+
+TEST(CliParseTest, AuditWindowDefaultsToOneSecond) {
+    EXPECT_EQ(parse({"--audit"}).audit_config().window, Duration::seconds(1));
+}
+
+TEST(CliDeathTest, AuditWindowMissingValueRejected) {
+    EXPECT_EXIT(parse({"--audit-window"}), ::testing::ExitedWithCode(2),
+                "missing value");
+}
+
+TEST(CliDeathTest, MalformedAuditWindowRejected) {
+    EXPECT_EXIT(parse({"--audit-window", "2s"}), ::testing::ExitedWithCode(2),
+                "not a non-negative integer");
+}
+
+TEST(CliDeathTest, ZeroAuditWindowRejected) {
+    EXPECT_EXIT(parse({"--audit-window", "0"}), ::testing::ExitedWithCode(2),
+                "must be >= 1");
+}
+
+// -- apply_audit_cli ----------------------------------------------------------
+
+SweepSpec two_point_spec() {
+    SweepSpec spec;
+    spec.points.resize(2);
+    spec.points[0].label = "plain";
+    spec.points[1].label = "preconfigured";
+    spec.points[1].spec.audit = obs::audit::AuditConfig{};
+    spec.points[1].spec.audit->window = Duration::millis(2000);
+    return spec;
+}
+
+TEST(CliParseTest, ApplyAuditCliAttachesDefaultConfig) {
+    SweepSpec spec = two_point_spec();
+    apply_audit_cli(spec, parse({"--audit"}));
+    ASSERT_TRUE(spec.points[0].spec.audit.has_value());
+    EXPECT_EQ(spec.points[0].spec.audit->window, Duration::seconds(1));
+    // A bench-provided audit config (its window tuned to its scenario) wins.
+    EXPECT_EQ(spec.points[1].spec.audit->window, Duration::millis(2000));
+}
+
+TEST(CliParseTest, ApplyAuditCliExplicitWindowOverridesEveryPoint) {
+    SweepSpec spec = two_point_spec();
+    apply_audit_cli(spec, parse({"--audit", "--audit-window", "500"}));
+    EXPECT_EQ(spec.points[0].spec.audit->window, Duration::millis(500));
+    EXPECT_EQ(spec.points[1].spec.audit->window, Duration::millis(500));
+}
+
+TEST(CliParseTest, ApplyAuditCliIsANoOpWithoutFlags) {
+    SweepSpec spec = two_point_spec();
+    apply_audit_cli(spec, parse({"--txs", "10"}));
+    EXPECT_FALSE(spec.points[0].spec.audit.has_value());
+    EXPECT_EQ(spec.points[1].spec.audit->window, Duration::millis(2000));
+}
+
 }  // namespace
 }  // namespace fl::harness

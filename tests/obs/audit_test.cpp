@@ -1,0 +1,534 @@
+// Fairness-audit subsystem: Jain index math, the AuditAccountant's meters,
+// window machinery, violation detectors and report serialization — plus the
+// end-to-end wiring through FabricNetwork and the passivity guarantee
+// (results with and without an accountant attached are byte-identical).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.h"
+#include "core/fabric_network.h"
+#include "core/metrics.h"
+#include "harness/experiment.h"
+#include "harness/workload.h"
+#include "obs/audit/audit.h"
+#include "obs/audit/fairness.h"
+#include "obs/trace.h"
+
+namespace fl::obs::audit {
+namespace {
+
+// -- fairness math ----------------------------------------------------------
+
+TEST(JainIndexTest, DegenerateInputsAreFair) {
+    EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+    EXPECT_DOUBLE_EQ(jain_index({7.0}), 1.0);
+    EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0, 0.0}), 1.0);
+}
+
+TEST(JainIndexTest, KnownValues) {
+    EXPECT_DOUBLE_EQ(jain_index({1.0, 1.0, 1.0, 1.0}), 1.0);
+    // One of two users hogs everything: J = n_served/n = 1/2.
+    EXPECT_DOUBLE_EQ(jain_index({1.0, 0.0}), 0.5);
+    // (4+2+2)^2 / (3 * (16+4+4)) = 64/72.
+    EXPECT_DOUBLE_EQ(jain_index({4.0, 2.0, 2.0}), 64.0 / 72.0);
+}
+
+TEST(JainIndexTest, NegativesClampToZero) {
+    EXPECT_DOUBLE_EQ(jain_index({5.0, -5.0}), jain_index({5.0, 0.0}));
+}
+
+TEST(NormalizeByEntitlementTest, DividesAndGuards) {
+    const std::vector<double> norm =
+        normalize_by_entitlement({6.0, 6.0, 1.0}, {2.0, 3.0, 0.0});
+    ASSERT_EQ(norm.size(), 3u);
+    EXPECT_DOUBLE_EQ(norm[0], 3.0);
+    EXPECT_DOUBLE_EQ(norm[1], 2.0);
+    EXPECT_DOUBLE_EQ(norm[2], 0.0);  // non-positive entitlement -> no claim
+    EXPECT_THROW(normalize_by_entitlement({1.0}, {1.0, 1.0}),
+                 std::invalid_argument);
+}
+
+// -- accountant construction -----------------------------------------------
+
+AuditConfig base_config() {
+    AuditConfig cfg;
+    cfg.window = Duration::seconds(1);
+    cfg.starvation_window = Duration::seconds(3);
+    cfg.level_weights = {1.0, 1.0};
+    return cfg;
+}
+
+TEST(AuditAccountantTest, RejectsIllFormedConfig) {
+    AuditConfig bad = base_config();
+    bad.window = Duration::zero();
+    EXPECT_THROW(AuditAccountant{bad}, std::invalid_argument);
+
+    bad = base_config();
+    bad.starvation_window = Duration::zero();
+    EXPECT_THROW(AuditAccountant{bad}, std::invalid_argument);
+
+    bad = base_config();
+    bad.alarm_consecutive = 0;
+    EXPECT_THROW(AuditAccountant{bad}, std::invalid_argument);
+}
+
+// -- resource meters --------------------------------------------------------
+
+TEST(AuditAccountantTest, ChargeAggregatesByClientAndChaincode) {
+    AuditAccountant audit(base_config());
+    const TimePoint t0 = TimePoint::origin();
+    audit.charge(ResourceKind::kEndorseCpu, 1, "cc_a", 2.0, t0);
+    audit.charge(ResourceKind::kEndorseCpu, 1, "cc_b", 3.0, t0);
+    audit.charge(ResourceKind::kEndorseCpu, 2, "cc_a", 5.0, t0);
+    audit.charge(ResourceKind::kEndorseCpu, 2, "cc_a", 0.0, t0);   // ignored
+    audit.charge(ResourceKind::kEndorseCpu, 2, "cc_a", -1.0, t0);  // ignored
+    audit.charge(ResourceKind::kStateIo, 1, "cc_a", 4.0, t0);
+    audit.finalize(t0 + Duration::seconds(2));
+
+    const AuditReport& r = audit.report();
+    const ResourceReport& cpu =
+        r.resources[static_cast<std::size_t>(ResourceKind::kEndorseCpu)];
+    EXPECT_DOUBLE_EQ(cpu.total, 10.0);
+    EXPECT_DOUBLE_EQ(cpu.by_client.at(1), 5.0);
+    EXPECT_DOUBLE_EQ(cpu.by_client.at(2), 5.0);
+    EXPECT_DOUBLE_EQ(cpu.by_chaincode.at("cc_a"), 7.0);
+    EXPECT_DOUBLE_EQ(cpu.by_chaincode.at("cc_b"), 3.0);
+    EXPECT_DOUBLE_EQ(cpu.jain_overall, 1.0);  // 5 vs 5 -> perfectly fair
+
+    const ResourceReport& io =
+        r.resources[static_cast<std::size_t>(ResourceKind::kStateIo)];
+    EXPECT_DOUBLE_EQ(io.total, 4.0);
+    EXPECT_DOUBLE_EQ(io.jain_overall, 1.0);  // single client -> trivially fair
+}
+
+TEST(AuditAccountantTest, WindowJainTracksWorstWindow) {
+    AuditAccountant audit(base_config());
+    const TimePoint t0 = TimePoint::origin();
+    // Window 1: equal shares.  Window 2: 9-vs-1 skew.
+    audit.charge(ResourceKind::kOrderingBandwidth, 1, "cc", 5.0, t0);
+    audit.charge(ResourceKind::kOrderingBandwidth, 2, "cc", 5.0, t0);
+    const TimePoint t1 = t0 + Duration::millis(1500);
+    audit.charge(ResourceKind::kOrderingBandwidth, 1, "cc", 9.0, t1);
+    audit.charge(ResourceKind::kOrderingBandwidth, 2, "cc", 1.0, t1);
+    audit.finalize(t0 + Duration::seconds(3));
+
+    const ResourceReport& bw = audit.report().resources[static_cast<std::size_t>(
+        ResourceKind::kOrderingBandwidth)];
+    EXPECT_EQ(bw.windows_evaluated, 2u);
+    EXPECT_DOUBLE_EQ(bw.jain_window_min, jain_index({9.0, 1.0}));
+    // Cumulative view is fairer than the worst window.
+    EXPECT_DOUBLE_EQ(bw.jain_overall, jain_index({14.0, 6.0}));
+}
+
+// -- priority-inversion detector -------------------------------------------
+
+TEST(AuditAccountantTest, FifoInversionWithinLevelDetected) {
+    AuditAccountant audit(base_config());
+    TraceSink sink;
+    audit.set_trace(&sink);
+    const TimePoint t0 = TimePoint::origin();
+    audit.on_enqueue(0, 101, t0);
+    audit.on_enqueue(0, 102, t0);
+    audit.on_enqueue(0, 103, t0);
+    // Block 1 commits 102 before 101: one FIFO violation; 103 after is fine.
+    audit.on_commit_order(1, 102, 0, t0);
+    audit.on_commit_order(1, 101, 0, t0);
+    audit.on_commit_order(1, 103, 0, t0);
+    audit.finalize(t0 + Duration::seconds(1));
+
+    const AuditReport& r = audit.report();
+    EXPECT_EQ(r.fifo_violations, 1u);
+    EXPECT_EQ(r.block_order_violations, 0u);
+    EXPECT_EQ(r.priority_inversions, 1u);
+
+    std::size_t inversion_events = 0;
+    for (const TraceEvent& ev : sink.events()) {
+        inversion_events += ev.type == EventType::kPriorityInversion;
+    }
+    EXPECT_EQ(inversion_events, 1u);
+}
+
+TEST(AuditAccountantTest, BlockLevelMonotonicityEnforced) {
+    AuditAccountant audit(base_config());
+    const TimePoint t0 = TimePoint::origin();
+    audit.on_enqueue(0, 1, t0);
+    audit.on_enqueue(1, 2, t0);
+    audit.on_enqueue(0, 3, t0);
+    // Within block 7: level 1 then level 0 — a canonical-layout violation.
+    audit.on_commit_order(7, 2, 1, t0);
+    audit.on_commit_order(7, 1, 0, t0);
+    // New block resets the tracker: level 0 after level 1 across blocks is fine.
+    audit.on_commit_order(8, 3, 0, t0);
+    audit.finalize(t0 + Duration::seconds(1));
+
+    EXPECT_EQ(audit.report().block_order_violations, 1u);
+    EXPECT_EQ(audit.report().fifo_violations, 0u);
+}
+
+TEST(AuditAccountantTest, ReplayAndResubmissionDedupByTxId) {
+    AuditAccountant audit(base_config());
+    const TimePoint t0 = TimePoint::origin();
+    audit.on_enqueue(0, 1, t0);
+    audit.on_enqueue(0, 2, t0);
+    audit.on_enqueue(0, 1, t0);  // resubmission: keeps original FIFO seat
+    audit.on_dequeue(0, 1, t0);
+    audit.on_dequeue(0, 1, t0);  // crash replay re-consumes the log
+    audit.on_dequeue(0, 2, t0);
+    audit.on_commit_order(1, 1, 0, t0);
+    audit.on_commit_order(1, 2, 0, t0);
+    // A second peer delivers the identical block: indistinguishable replay.
+    audit.on_commit_order(1, 1, 0, t0);
+    audit.on_commit_order(1, 2, 0, t0);
+    audit.finalize(t0 + Duration::seconds(1));
+
+    const AuditReport& r = audit.report();
+    EXPECT_EQ(r.priority_inversions, 0u);
+    ASSERT_GE(r.levels.size(), 1u);
+    EXPECT_EQ(r.levels[0].ordered, 2u);  // replayed dequeues counted once
+}
+
+TEST(AuditAccountantTest, UnassignedPriorityMapsToLevelZero) {
+    AuditConfig cfg = base_config();
+    cfg.level_weights = {1.0};
+    AuditAccountant audit(cfg);
+    const TimePoint t0 = TimePoint::origin();
+    // The FIFO pipeline reports the sentinel; it must account as level 0,
+    // not index (and allocate) 2^32 levels.
+    audit.on_enqueue(kUnassignedPriority, 1, t0);
+    audit.on_dequeue(kUnassignedPriority, 1, t0);
+    audit.on_commit_order(1, 1, kUnassignedPriority, t0);
+    audit.finalize(t0 + Duration::seconds(1));
+
+    const AuditReport& r = audit.report();
+    ASSERT_EQ(r.levels.size(), 1u);
+    EXPECT_EQ(r.levels[0].ordered, 1u);
+    EXPECT_EQ(r.priority_inversions, 0u);
+}
+
+// -- starvation watchdog ----------------------------------------------------
+
+TEST(AuditAccountantTest, StarvationFiresOncePerEpisode) {
+    AuditAccountant audit(base_config());  // starvation window 3 s
+    TraceSink sink;
+    audit.set_trace(&sink);
+    const TimePoint t0 = TimePoint::origin();
+    audit.on_submit(7, t0);
+    // 10 s with pending work and no service: exactly one incident (the
+    // client is marked starved; re-marking every window would double-count
+    // one continuous episode).
+    audit.finalize(t0 + Duration::seconds(10));
+
+    const AuditReport& r = audit.report();
+    EXPECT_EQ(r.starvation_incidents, 1u);
+    ASSERT_EQ(r.starved_clients.count(7), 1u);
+    EXPECT_EQ(r.starved_clients.at(7), 1u);
+    std::size_t starvation_events = 0;
+    for (const TraceEvent& ev : sink.events()) {
+        starvation_events += ev.type == EventType::kStarvation;
+    }
+    EXPECT_EQ(starvation_events, 1u);
+}
+
+TEST(AuditAccountantTest, ServiceClearsStarvationAndReArms) {
+    AuditAccountant audit(base_config());
+    const TimePoint t0 = TimePoint::origin();
+    audit.on_submit(7, t0);
+    audit.on_submit(7, t0);
+    // Starve past the 3 s window (first incident)...
+    const TimePoint t1 = t0 + Duration::seconds(5);
+    audit.on_client_terminal(7, t1);  // ...then one tx completes: cleared.
+    // Still one tx pending; a fresh 3 s gap is a *second* episode.
+    audit.finalize(t1 + Duration::seconds(5));
+
+    EXPECT_EQ(audit.report().starvation_incidents, 2u);
+    EXPECT_EQ(audit.report().starved_clients.at(7), 2u);
+}
+
+TEST(AuditAccountantTest, ServedClientNeverStarves) {
+    AuditAccountant audit(base_config());
+    const TimePoint t0 = TimePoint::origin();
+    // Submit+complete every second for 10 s: gaps never reach 3 s.
+    for (int i = 0; i < 10; ++i) {
+        const TimePoint t = t0 + Duration::seconds(i);
+        audit.on_submit(3, t);
+        audit.on_client_terminal(3, t + Duration::millis(200));
+    }
+    audit.finalize(t0 + Duration::seconds(11));
+    EXPECT_EQ(audit.report().starvation_incidents, 0u);
+}
+
+// -- unfairness alarm -------------------------------------------------------
+
+/// One audit window in which client 1 is served and client 2 is not, both
+/// clearly backlogged: Jain({served_1, 0}) = 0.5 < threshold.
+void skewed_window(AuditAccountant& audit, TimePoint start) {
+    for (int i = 0; i < 20; ++i) {
+        audit.on_submit(1, start);
+        audit.on_submit(2, start);
+    }
+    for (int i = 0; i < 10; ++i) {
+        audit.on_client_terminal(1, start + Duration::millis(10));
+    }
+}
+
+/// A window where both clients' arrivals are fully served (not backlogged).
+void fair_window(AuditAccountant& audit, TimePoint start) {
+    audit.on_submit(1, start);
+    audit.on_submit(2, start);
+    audit.on_client_terminal(1, start + Duration::millis(10));
+    audit.on_client_terminal(2, start + Duration::millis(10));
+}
+
+TEST(AuditAccountantTest, AlarmTripsAfterKConsecutiveBreaches) {
+    AuditConfig cfg = base_config();
+    cfg.alarm_consecutive = 2;
+    AuditAccountant audit(cfg);
+    TraceSink sink;
+    audit.set_trace(&sink);
+    const TimePoint t0 = TimePoint::origin();
+
+    skewed_window(audit, t0);                         // window 1: breach
+    skewed_window(audit, t0 + Duration::seconds(1));  // window 2: breach -> trip
+    skewed_window(audit, t0 + Duration::seconds(2));  // window 3: sustained, no re-trip
+    audit.finalize(t0 + Duration::seconds(4));
+
+    const AuditReport& r = audit.report();
+    EXPECT_EQ(r.alarm_trips, 1u);
+    EXPECT_EQ(r.alarm_windows_breached, 3u);
+    EXPECT_EQ(r.alarm_windows_evaluated, 3u);
+    EXPECT_DOUBLE_EQ(r.alarm_jain_min, 0.5);
+    std::size_t alarm_events = 0;
+    for (const TraceEvent& ev : sink.events()) {
+        alarm_events += ev.type == EventType::kUnfairnessAlarm;
+    }
+    EXPECT_EQ(alarm_events, 1u);
+}
+
+TEST(AuditAccountantTest, RecoveryResetsStreakAndReArmsAlarm) {
+    AuditConfig cfg = base_config();
+    cfg.alarm_consecutive = 2;
+    AuditAccountant audit(cfg);
+    const TimePoint t0 = TimePoint::origin();
+
+    skewed_window(audit, t0);                         // breach (streak 1)
+    fair_window(audit, t0 + Duration::seconds(1));    // streak resets
+    skewed_window(audit, t0 + Duration::seconds(2));  // breach (streak 1)
+    skewed_window(audit, t0 + Duration::seconds(3));  // breach -> trip
+    audit.finalize(t0 + Duration::seconds(5));
+
+    EXPECT_EQ(audit.report().alarm_trips, 1u);
+    EXPECT_EQ(audit.report().alarm_windows_breached, 3u);
+}
+
+TEST(AuditAccountantTest, SingleBackloggedClientIsNotUnfairness) {
+    AuditConfig cfg = base_config();
+    cfg.alarm_consecutive = 1;
+    AuditAccountant audit(cfg);
+    const TimePoint t0 = TimePoint::origin();
+    // Only client 1 is backlogged (a self-inflicted flood has no victim);
+    // client 2's single arrival is within slack.
+    for (int w = 0; w < 3; ++w) {
+        const TimePoint t = t0 + Duration::seconds(w);
+        for (int i = 0; i < 20; ++i) audit.on_submit(1, t);
+        audit.on_submit(2, t);
+    }
+    audit.finalize(t0 + Duration::seconds(4));
+    EXPECT_EQ(audit.report().alarm_windows_evaluated, 0u);
+    EXPECT_EQ(audit.report().alarm_trips, 0u);
+}
+
+// -- shadow scheduler -------------------------------------------------------
+
+TEST(AuditAccountantTest, ShadowLagMeasuresUnservedBackloggedLevel) {
+    AuditAccountant audit(base_config());  // weights {1, 1}
+    const TimePoint t0 = TimePoint::origin();
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        audit.on_enqueue(0, 100 + i, t0);
+        audit.on_enqueue(1, 200 + i, t0);
+    }
+    // The "generator" serves only level 0: ideal SFQ would have alternated,
+    // so level 1 accumulates service lag while level 0 never lags.
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        audit.on_dequeue(0, 100 + i, t0 + Duration::millis(10));
+    }
+    audit.finalize(t0 + Duration::seconds(1));
+
+    const AuditReport& r = audit.report();
+    ASSERT_EQ(r.levels.size(), 2u);
+    EXPECT_DOUBLE_EQ(r.levels[0].max_service_lag, 0.0);
+    EXPECT_GT(r.levels[1].max_service_lag, 0.0);
+    EXPECT_GT(r.shadow_virtual_time, 0.0);
+    // Ordering share: level 0 consumed everything the generator served.
+    EXPECT_DOUBLE_EQ(r.levels[0].share, 1.0);
+    EXPECT_DOUBLE_EQ(r.levels[0].entitled, 0.5);
+    EXPECT_DOUBLE_EQ(r.levels[0].deviation, 0.5);
+}
+
+TEST(AuditAccountantTest, BestEffortLevelExcludedFromShadow) {
+    AuditConfig cfg = base_config();
+    cfg.level_weights = {1.0, 0.0};  // "1:0" policy: level 1 is best-effort
+    AuditAccountant audit(cfg);
+    const TimePoint t0 = TimePoint::origin();
+    audit.on_enqueue(1, 1, t0);
+    audit.on_enqueue(0, 2, t0);
+    audit.on_dequeue(0, 2, t0);
+    audit.finalize(t0 + Duration::seconds(1));
+
+    const AuditReport& r = audit.report();
+    ASSERT_EQ(r.levels.size(), 2u);
+    // No ideal-SFQ notion of a zero-weight flow: lag pinned at 0.
+    EXPECT_DOUBLE_EQ(r.levels[1].max_service_lag, 0.0);
+    EXPECT_DOUBLE_EQ(r.levels[1].entitled, 0.0);
+}
+
+// -- finalize + serialization ----------------------------------------------
+
+TEST(AuditAccountantTest, FinalizeIsIdempotentAndFreezesState) {
+    AuditAccountant audit(base_config());
+    const TimePoint t0 = TimePoint::origin();
+    audit.charge(ResourceKind::kEndorseCpu, 1, "cc", 1.0, t0);
+    audit.finalize(t0 + Duration::seconds(2));
+    const std::uint64_t windows = audit.report().windows_closed;
+
+    // Late observations and repeated finalize must change nothing.
+    audit.charge(ResourceKind::kEndorseCpu, 1, "cc", 99.0, t0 + Duration::seconds(5));
+    audit.on_submit(1, t0 + Duration::seconds(5));
+    audit.finalize(t0 + Duration::seconds(10));
+    EXPECT_EQ(audit.report().windows_closed, windows);
+    EXPECT_DOUBLE_EQ(
+        audit.report().resources[0].total, 1.0);
+}
+
+TEST(AuditAccountantTest, JsonBytesAreAPureFunctionOfTheEventStream) {
+    const auto feed = [](AuditAccountant& audit) {
+        const TimePoint t0 = TimePoint::origin();
+        audit.charge(ResourceKind::kEndorseCpu, 2, "cc_b", 1.5, t0);
+        audit.charge(ResourceKind::kOrderingBandwidth, 1, "cc_a", 512.0, t0);
+        audit.on_submit(1, t0);
+        audit.on_enqueue(0, 42, t0);
+        audit.on_dequeue(0, 42, t0 + Duration::millis(100));
+        audit.on_commit_order(1, 42, 0, t0 + Duration::millis(200));
+        audit.on_client_terminal(1, t0 + Duration::millis(300));
+        audit.finalize(t0 + Duration::seconds(2));
+    };
+    const auto render = [&feed] {
+        AuditAccountant audit(base_config());
+        feed(audit);
+        std::ostringstream os;
+        JsonWriter json(os);
+        write_audit_json(json, audit.report());
+        return os.str();
+    };
+    const std::string a = render();
+    const std::string b = render();
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+    // Spot-check the schema: resource keys and detector counters present.
+    EXPECT_NE(a.find("\"endorse_cpu\""), std::string::npos);
+    EXPECT_NE(a.find("\"state_io\""), std::string::npos);
+    EXPECT_NE(a.find("\"priority_inversions\""), std::string::npos);
+    EXPECT_NE(a.find("\"alarm_trips\""), std::string::npos);
+}
+
+// -- end-to-end through FabricNetwork --------------------------------------
+
+harness::ExperimentSpec small_spec(bool with_audit) {
+    harness::ExperimentSpec spec;
+    spec.config.orgs = 2;
+    spec.config.osns = 1;
+    spec.config.clients = 2;
+    spec.config.channel.priority_enabled = true;
+    spec.config.channel.block_size = 10;
+    spec.config.channel.block_timeout = Duration::millis(100);
+    spec.config.endorsement_k = 2;
+    spec.make_workload = [] {
+        harness::Workload w;
+        for (std::size_t c = 0; c < 2; ++c) {
+            harness::LoadSpec load;
+            load.client_index = c;
+            load.tps = 150;
+            load.total_txs = 30;
+            load.generate = harness::priority_class_mix({1, 2, 1});
+            w.loads.push_back(std::move(load));
+        }
+        return w;
+    };
+    spec.runs = 1;
+    if (with_audit) {
+        spec.audit = AuditConfig{};
+        spec.audit->window = Duration::millis(200);
+    }
+    return spec;
+}
+
+TEST(AuditEndToEndTest, MetersEveryPipelineStage) {
+    const harness::RunResult result = harness::run_once(small_spec(true), 1234);
+    ASSERT_TRUE(result.audit.has_value());
+    const AuditReport& r = *result.audit;
+    ASSERT_GT(result.metrics.committed_valid(), 0u);
+
+    for (std::size_t k = 0; k < kResourceCount; ++k) {
+        EXPECT_GT(r.resources[k].total, 0.0)
+            << "resource " << to_string(static_cast<ResourceKind>(k));
+        // Both clients touched every meter.
+        EXPECT_EQ(r.resources[k].by_client.size(), 2u);
+    }
+    EXPECT_GT(r.windows_closed, 0u);
+    // Symmetric clients, weighted-fair scheduler: no detector may fire.
+    EXPECT_EQ(r.priority_inversions, 0u);
+    EXPECT_EQ(r.starvation_incidents, 0u);
+    EXPECT_EQ(r.alarm_trips, 0u);
+    // Every ordered tx is accounted at some level.
+    std::uint64_t ordered = 0;
+    for (const LevelReport& level : r.levels) ordered += level.ordered;
+    EXPECT_EQ(ordered, result.metrics.committed_valid() +
+                           result.metrics.committed_invalid());
+}
+
+TEST(AuditEndToEndTest, AccountantIsPassive) {
+    // The same (spec, seed) with and without an accountant must produce
+    // byte-identical metrics JSON: attaching the audit schedules no events
+    // and draws no randomness.
+    const harness::RunResult with = harness::run_once(small_spec(true), 77);
+    const harness::RunResult without = harness::run_once(small_spec(false), 77);
+    EXPECT_FALSE(without.audit.has_value());
+
+    std::ostringstream os_with;
+    std::ostringstream os_without;
+    core::write_metrics_json(os_with, with.metrics);
+    core::write_metrics_json(os_without, without.metrics);
+    EXPECT_EQ(os_with.str(), os_without.str());
+}
+
+TEST(AuditEndToEndTest, AuditBlockEmbedsInMetricsJson) {
+    const harness::RunResult result = harness::run_once(small_spec(true), 5);
+    ASSERT_TRUE(result.audit.has_value());
+
+    std::ostringstream plain;
+    core::write_metrics_json(plain, result.metrics);
+    std::ostringstream with_audit;
+    core::write_metrics_json(with_audit, result.metrics, &*result.audit);
+
+    EXPECT_EQ(plain.str().find("\"audit\""), std::string::npos);
+    EXPECT_NE(with_audit.str().find("\"audit\""), std::string::npos);
+    // The nullptr overload is the 2-arg overload, byte for byte.
+    std::ostringstream null_audit;
+    core::write_metrics_json(null_audit, result.metrics, nullptr);
+    EXPECT_EQ(plain.str(), null_audit.str());
+}
+
+TEST(AuditEndToEndTest, ReportIsDeterministicAcrossRuns) {
+    const auto render = [] {
+        const harness::RunResult result = harness::run_once(small_spec(true), 99);
+        std::ostringstream os;
+        JsonWriter json(os);
+        write_audit_json(json, *result.audit);
+        return os.str();
+    };
+    EXPECT_EQ(render(), render());
+}
+
+}  // namespace
+}  // namespace fl::obs::audit

@@ -36,6 +36,22 @@ TEST(MetricRegistryTest, RejectsNullGauge) {
     EXPECT_THROW(registry.add_gauge("bad", nullptr), std::invalid_argument);
 }
 
+TEST(MetricRegistryTest, RejectsDuplicateGaugeName) {
+    MetricRegistry registry;
+    registry.add_gauge("depth", [] { return 1.0; });
+    EXPECT_THROW(registry.add_gauge("depth", [] { return 2.0; }),
+                 std::invalid_argument);
+    // The first registration survives the rejected duplicate.
+    ASSERT_EQ(registry.size(), 1u);
+    EXPECT_DOUBLE_EQ(registry.sample()[0], 1.0);
+}
+
+TEST(MetricRegistryTest, EmptyRegistrySamplesToNothing) {
+    MetricRegistry registry;
+    EXPECT_EQ(registry.size(), 0u);
+    EXPECT_TRUE(registry.sample().empty());
+}
+
 TEST(TimeSeriesRecorderTest, RejectsNonPositiveCadence) {
     sim::Simulator sim;
     EXPECT_THROW(TimeSeriesRecorder(sim, MetricRegistry{}, Duration::zero()),
@@ -86,7 +102,7 @@ TEST(TimeSeriesRecorderTest, StartOnDrainedSimulatorSamplesOnce) {
     EXPECT_DOUBLE_EQ(recorder.samples()[0].values[0], 5.0);
 }
 
-TEST(TimeSeriesRecorderTest, JsonlHasOneFlatObjectPerSample) {
+TEST(TimeSeriesRecorderTest, JsonlHasOneFlatObjectPerSamplePlusSummary) {
     sim::Simulator sim;
     sim.schedule_after(Duration::millis(25), [] {});
     MetricRegistry registry;
@@ -100,8 +116,51 @@ TEST(TimeSeriesRecorderTest, JsonlHasOneFlatObjectPerSample) {
     const std::string text = os.str();
     std::size_t lines = 0;
     for (const char c : text) lines += c == '\n';
-    EXPECT_EQ(lines, recorder.samples().size());
+    // One flat object per sample plus the trailing summary footer.
+    EXPECT_EQ(lines, recorder.samples().size() + 1);
     EXPECT_EQ(text.substr(0, text.find('\n')), R"({"t_s":0,"depth":3.5})");
+    const std::size_t footer_at = text.rfind(R"({"summary":)");
+    ASSERT_NE(footer_at, std::string::npos);
+    EXPECT_EQ(
+        text.substr(footer_at),
+        R"({"summary":{"depth":{"min":3.5,"max":3.5,"mean":3.5,"last":3.5}}})"
+        "\n");
+}
+
+TEST(TimeSeriesRecorderTest, SummaryTracksSeriesEnvelope) {
+    sim::Simulator sim;
+    double v = 1.0;
+    sim.schedule_after(Duration::millis(10), [&v] { v = 9.0; });
+    sim.schedule_after(Duration::millis(20), [&v] { v = 2.0; });
+    MetricRegistry registry;
+    registry.add_gauge("g", [&v] { return v; });
+    TimeSeriesRecorder recorder(sim, std::move(registry), Duration::millis(10));
+    recorder.start();
+    sim.run();
+    // Samples: t=0 -> 1, t=10ms -> 9 (same-time event order: fault event
+    // first, tick later), t=20ms -> 2.
+    std::ostringstream os;
+    recorder.write_jsonl(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find(R"("g":{"min":1,"max":9,"mean":4,"last":2})"),
+              std::string::npos)
+        << text;
+}
+
+TEST(TimeSeriesRecorderTest, GaugelessRecorderStillFramesJsonl) {
+    sim::Simulator sim;
+    sim.schedule_after(Duration::millis(5), [] {});
+    TimeSeriesRecorder recorder(sim, MetricRegistry{}, Duration::millis(10));
+    recorder.start();
+    sim.run();
+    ASSERT_GE(recorder.samples().size(), 1u);
+    EXPECT_TRUE(recorder.samples().front().values.empty());
+
+    std::ostringstream os;
+    recorder.write_jsonl(os);
+    const std::string text = os.str();
+    EXPECT_EQ(text.substr(0, text.find('\n')), R"({"t_s":0})");
+    EXPECT_NE(text.find("{\"summary\":{}}\n"), std::string::npos);
 }
 
 TEST(TimeSeriesRecorderTest, NetworkGaugesTrackALiveRun) {
@@ -157,6 +216,76 @@ TEST(TimeSeriesRecorderTest, NetworkGaugesTrackALiveRun) {
         static_cast<double>(result.metrics.committed_valid() +
                             result.metrics.committed_invalid() -
                             result.txs_invalid));
+}
+
+// The audit detector gauges and the fault-injection gauges share one
+// registry: with an accountant attached and an OSN crash scheduled, both
+// families must register cleanly (no duplicate names) and track their own
+// subsystem without perturbing each other's series.
+TEST(TimeSeriesRecorderTest, AuditAndFaultGaugesCoexist) {
+    harness::ExperimentSpec spec;
+    spec.config.orgs = 2;
+    spec.config.osns = 2;
+    spec.config.clients = 2;
+    spec.config.channel.priority_enabled = true;
+    spec.config.channel.block_size = 10;
+    spec.config.channel.block_timeout = Duration::millis(100);
+    spec.config.endorsement_k = 2;
+    spec.config.faults.schedule = {
+        {Duration::millis(100), fault::FaultKind::kOsnCrash, 1, 1.0},
+        {Duration::millis(300), fault::FaultKind::kOsnRestart, 1, 1.0},
+    };
+    spec.audit = obs::audit::AuditConfig{};
+    spec.audit->window = Duration::millis(50);
+    spec.make_workload = [] {
+        harness::Workload w;
+        harness::LoadSpec load;
+        load.client_index = 0;
+        load.tps = 200;
+        load.total_txs = 60;
+        load.generate = harness::priority_class_mix({1, 2, 1});
+        w.loads.push_back(std::move(load));
+        return w;
+    };
+    spec.runs = 1;
+
+    std::unique_ptr<TimeSeriesRecorder> recorder;
+    spec.instrument = [&recorder](core::FabricNetwork& net, unsigned) {
+        MetricRegistry registry;
+        net.register_metrics(registry);  // must not throw duplicate-name
+        recorder = std::make_unique<TimeSeriesRecorder>(
+            net.simulator(), std::move(registry), Duration::millis(50));
+        recorder->start();
+    };
+    const harness::RunResult result = harness::run_once(spec, 77);
+    ASSERT_GT(result.metrics.committed_valid(), 0u);
+    ASSERT_TRUE(result.audit.has_value());
+    ASSERT_NE(recorder, nullptr);
+
+    const auto& names = recorder->registry().names();
+    const auto index_of = [&names](const std::string& name) -> std::size_t {
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (names[i] == name) return i;
+        }
+        return names.size();
+    };
+    const std::size_t crashes_idx = index_of("osn_crashes");
+    const std::size_t windows_idx = index_of("audit_windows_closed");
+    ASSERT_LT(crashes_idx, names.size());
+    ASSERT_LT(windows_idx, names.size());
+
+    const auto& first = recorder->samples().front().values;
+    const auto& last = recorder->samples().back().values;
+    // The fault gauge saw the scheduled crash...
+    EXPECT_DOUBLE_EQ(first[crashes_idx], 0.0);
+    EXPECT_DOUBLE_EQ(last[crashes_idx], 1.0);
+    // ...and the audit gauge advanced with the simulated clock, landing on
+    // the same count the finalized report carries (minus any windows closed
+    // by finalize itself, which runs after the last sample).
+    EXPECT_DOUBLE_EQ(first[windows_idx], 0.0);
+    EXPECT_GT(last[windows_idx], 0.0);
+    EXPECT_GE(static_cast<double>(result.audit->windows_closed),
+              last[windows_idx]);
 }
 
 }  // namespace

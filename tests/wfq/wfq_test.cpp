@@ -172,6 +172,78 @@ TEST(WfqSchedulerTest, VirtualTimeAdvancesWithService) {
     EXPECT_DOUBLE_EQ(s.virtual_time(), 5.0);
 }
 
+// ------------------------------------------- shadow hooks (fairness audit)
+
+TEST(WfqSchedulerTest, DequeueFlowServesSpecificFlowInFifoOrder) {
+    WfqScheduler<int> s({1.0, 1.0});
+    s.enqueue(0, 1.0, 10);
+    s.enqueue(0, 1.0, 11);
+    s.enqueue(1, 1.0, 20);
+
+    // Pull flow 0 twice even though SFQ would have alternated.
+    auto out = s.dequeue_flow(0);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, 10);
+    out = s.dequeue_flow(0);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, 11);
+    EXPECT_FALSE(s.dequeue_flow(0).has_value());  // drained: nullopt, no throw
+    EXPECT_DOUBLE_EQ(s.served(0), 2.0);
+    EXPECT_DOUBLE_EQ(s.served(1), 0.0);
+
+    // The bypassed flow is still intact and served next.
+    out = s.dequeue_flow(1);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, 20);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(WfqSchedulerTest, DequeueFlowAdvancesVirtualClock) {
+    WfqScheduler<int> s({1.0});
+    for (int i = 0; i < 3; ++i) {
+        s.enqueue(0, 1.0, i);
+    }
+    EXPECT_DOUBLE_EQ(s.virtual_time(), 0.0);
+    // Start tags of a backlogged unit-cost flow are 0, 1, 2: the clock
+    // tracks them exactly as dequeue() would.
+    (void)s.dequeue_flow(0);
+    EXPECT_DOUBLE_EQ(s.virtual_time(), 0.0);
+    (void)s.dequeue_flow(0);
+    EXPECT_DOUBLE_EQ(s.virtual_time(), 1.0);
+    (void)s.dequeue_flow(0);
+    EXPECT_DOUBLE_EQ(s.virtual_time(), 2.0);
+}
+
+TEST(WfqSchedulerTest, ServiceLagZeroForIdleOrTimelyFlows) {
+    WfqScheduler<int> s({1.0, 1.0});
+    EXPECT_DOUBLE_EQ(s.service_lag(0), 0.0);  // empty flow never lags
+    s.enqueue(0, 1.0, 1);
+    s.enqueue(1, 1.0, 2);
+    // Nothing served yet: V = 0, both heads start at 0.
+    EXPECT_DOUBLE_EQ(s.service_lag(0), 0.0);
+    EXPECT_DOUBLE_EQ(s.service_lag(1), 0.0);
+    EXPECT_THROW((void)s.service_lag(2), std::out_of_range);
+}
+
+TEST(WfqSchedulerTest, ServiceLagGrowsWhenFlowIsBypassed) {
+    WfqScheduler<int> s({1.0, 1.0});
+    for (int i = 0; i < 4; ++i) {
+        s.enqueue(0, 1.0, i);
+        s.enqueue(1, 1.0, 100 + i);
+    }
+    // An unfair scheduler serves only flow 0; ideal SFQ would have
+    // alternated, so flow 1's head start tag falls behind V.
+    (void)s.dequeue_flow(0);
+    (void)s.dequeue_flow(0);
+    (void)s.dequeue_flow(0);
+    EXPECT_DOUBLE_EQ(s.service_lag(0), 0.0);  // the favored flow never lags
+    EXPECT_DOUBLE_EQ(s.service_lag(1), 2.0);  // V = 2, head start tag 0
+    // Serving the lagging flow consumes its oldest tags and shrinks the lag.
+    (void)s.dequeue_flow(1);
+    (void)s.dequeue_flow(1);
+    EXPECT_DOUBLE_EQ(s.service_lag(1), 0.0);
+}
+
 // ---------------------------------------------------------------- WRR/DRR
 
 TEST(WrrSchedulerTest, SharesFollowWeights) {
