@@ -10,10 +10,12 @@
 #include "client/client.h"
 #include "common/time.h"
 #include "fault/fault_spec.h"
+#include "orderer/ordering_backend.h"
 #include "orderer/osn.h"
 #include "peer/peer.h"
 #include "peer/priority_calculator.h"
 #include "policy/channel_config.h"
+#include "raft/params.h"
 #include "sim/network.h"
 
 namespace fl::core {
@@ -51,6 +53,13 @@ struct NetworkConfig {
     /// means no fault streams are split, no fault events are scheduled, and
     /// the run is byte-identical to a pre-fault-subsystem build.
     fault::FaultSpec faults;
+
+    /// Ordering substrate (DESIGN.md §15): the Kafka-style broker (default)
+    /// or the deterministic simulated-time Raft cluster.  Fault-free runs
+    /// are byte-identical across the two.
+    orderer::OrderingBackendKind ordering_backend = orderer::OrderingBackendKind::kMq;
+    /// Raft cluster tunables; only read when ordering_backend == kRaft.
+    raft::RaftParams raft;
 
     /// Total number of peers in the network.
     [[nodiscard]] std::uint32_t total_peers() const { return orgs * peers_per_org; }

@@ -34,10 +34,23 @@ FabricNetwork::FabricNetwork(NetworkConfig config)
 void FabricNetwork::build() {
     net_ = std::make_unique<sim::Network>(sim_, rng_.split("network"),
                                           config_.link_params);
-    mq::BrokerParams broker_params;
-    broker_params.node = NodeId{kBrokerNode};
-    broker_ = std::make_unique<mq::Broker<orderer::OrderedRecord>>(sim_, *net_,
-                                                                   broker_params);
+    if (config_.ordering_backend == orderer::OrderingBackendKind::kRaft) {
+        // The Raft rng is derived straight from the seed (like the key
+        // store's), NOT split from rng_: Rng::split advances the parent, so
+        // splitting here would shift every later component stream and break
+        // the mq-vs-raft byte-identity contract (DESIGN.md §15).
+        raft_backend_ = std::make_unique<raft::RaftOrderingBackend>(
+            sim_, *net_, Rng(config_.seed ^ 0x5241465453454431ull),  // "RAFTSED1"
+            config_.raft);
+        ordering_ = raft_backend_.get();
+    } else {
+        mq::BrokerParams broker_params;
+        broker_params.node = NodeId{kBrokerNode};
+        broker_ = std::make_unique<mq::Broker<orderer::OrderedRecord>>(
+            sim_, *net_, broker_params);
+        mq_backend_ = std::make_unique<orderer::MqOrderingBackend>(*broker_);
+        ordering_ = mq_backend_.get();
+    }
 
     keys_.set_seed(config_.seed ^ 0x4B45595345454431ull);  // "KEYSEED1"
 
@@ -50,7 +63,7 @@ void FabricNetwork::build() {
 
     // Topics: one per priority level (a single one in baseline mode).
     for (std::uint32_t level = 0; level < config_.channel.effective_levels(); ++level) {
-        broker_->create_topic(config_.channel.topic_for_level(level));
+        ordering_->create_topic(config_.channel.topic_for_level(level));
     }
 
     peer::CalculatorFactory factory = config_.calculator_factory;
@@ -81,7 +94,7 @@ void FabricNetwork::build() {
             rng_.split("osnskew" + std::to_string(i))
                 .uniform(0.0, config_.max_osn_clock_skew.as_seconds()));
         osns_.push_back(std::make_unique<orderer::Osn>(
-            sim_, *net_, *broker_, keys_, config_.channel, params, OsnId{i},
+            sim_, *net_, *ordering_, keys_, config_.channel, params, OsnId{i},
             NodeId{kOsnNodeBase + i}));
     }
 
@@ -135,7 +148,8 @@ void FabricNetwork::build() {
             const std::vector<fault::ScheduledFault> generated =
                 fault::make_fault_schedule(*config_.faults.profile,
                                            rng_.split("faultplan"), config_.osns,
-                                           config_.total_peers());
+                                           config_.total_peers(),
+                                           raft_backend_ ? config_.raft.nodes : 0);
             fault_schedule_.insert(fault_schedule_.end(), generated.begin(),
                                    generated.end());
         }
@@ -197,12 +211,51 @@ void FabricNetwork::apply_fault(const fault::ScheduledFault& f) {
         break;
     }
     case fault::FaultKind::kBrokerDown:
-        broker_->set_down(true);
+        ordering_->set_down(true);
         kind = obs::ActorKind::kBroker;
         break;
     case fault::FaultKind::kBrokerUp:
-        broker_->set_down(false);
+        ordering_->set_down(false);
         kind = obs::ActorKind::kBroker;
+        break;
+    // Raft-backend faults: no-ops under mq, so a schedule mixing both kinds
+    // can drive either backend.
+    case fault::FaultKind::kRaftLeaderKill:
+        if (raft_backend_) raft_backend_->kill_leader();
+        kind = obs::ActorKind::kRaft;
+        break;
+    case fault::FaultKind::kRaftNodeCrash:
+        if (raft_backend_) {
+            const std::uint32_t i = f.target % raft_backend_->node_count();
+            raft_backend_->crash_node(i);
+            actor = i;
+        }
+        kind = obs::ActorKind::kRaft;
+        break;
+    case fault::FaultKind::kRaftNodeRestart:
+        if (raft_backend_) {
+            raft_backend_->restart_node(f.target);
+            actor = f.target == raft::kAllNodes
+                        ? 0
+                        : f.target % raft_backend_->node_count();
+        }
+        kind = obs::ActorKind::kRaft;
+        break;
+    case fault::FaultKind::kRaftPartition:
+        if (raft_backend_) {
+            const std::uint32_t i = f.target % raft_backend_->node_count();
+            raft_backend_->partition_node(i);
+            actor = i;
+        }
+        kind = obs::ActorKind::kRaft;
+        break;
+    case fault::FaultKind::kRaftHeal:
+        if (raft_backend_) raft_backend_->heal_partitions();
+        kind = obs::ActorKind::kRaft;
+        break;
+    case fault::FaultKind::kRaftDrop:
+        if (raft_backend_) raft_backend_->set_drop_prob(f.factor);
+        kind = obs::ActorKind::kRaft;
         break;
     }
     if (trace_) {
@@ -217,6 +270,14 @@ void FabricNetwork::apply_fault(const fault::ScheduledFault& f) {
     }
 }
 
+mq::Broker<orderer::OrderedRecord>& FabricNetwork::broker() {
+    if (!broker_) {
+        throw std::logic_error(
+            "FabricNetwork::broker: Raft backend configured — use ordering()");
+    }
+    return *broker_;
+}
+
 void FabricNetwork::set_tx_sink(std::function<void(const client::TxRecord&)> sink) {
     for (const auto& c : clients_) {
         c->set_on_complete(sink);
@@ -228,6 +289,7 @@ void FabricNetwork::set_trace_sink(obs::TraceSink* sink) {
     for (const auto& c : clients_) c->set_trace(sink);
     for (const auto& p : peers_) p->set_trace(sink);
     for (const auto& o : osns_) o->set_trace(sink);
+    if (raft_backend_) raft_backend_->set_trace(sink);  // election events
     if (audit_) audit_->set_trace(sink);  // detector events
     install_broker_hook();
 }
@@ -247,7 +309,7 @@ void FabricNetwork::install_broker_hook() {
     obs::TraceSink* sink = trace_;
     obs::audit::AuditAccountant* audit = audit_;
     if (sink == nullptr && audit == nullptr) {
-        broker_->set_on_append(nullptr);
+        ordering_->set_on_append(nullptr);
         return;
     }
     // The broker is record-agnostic, so the topic->level mapping lives here.
@@ -255,7 +317,7 @@ void FabricNetwork::install_broker_hook() {
     for (std::uint32_t l = 0; l < config_.channel.effective_levels(); ++l) {
         levels.emplace(config_.channel.topic_for_level(l), l);
     }
-    broker_->set_on_append(
+    ordering_->set_on_append(
         [sink, audit, levels = std::move(levels), sim = &sim_](
             const std::string& topic, mq::Offset offset,
             const orderer::OrderedRecord& rec, std::size_t wire) {
@@ -303,7 +365,7 @@ void FabricNetwork::register_metrics(obs::MetricRegistry& registry) {
                 const auto* gen = osn0->generator();
                 const std::uint64_t consumed =
                     gen ? gen->subscriptions()[l]->consumed_count() : 0;
-                return static_cast<double>(broker_->topic_size(topic)) -
+                return static_cast<double>(ordering_->topic_size(topic)) -
                        static_cast<double>(consumed);
             });
     }
@@ -411,7 +473,7 @@ void FabricNetwork::register_metrics(obs::MetricRegistry& registry) {
         return static_cast<double>(net_->messages_duplicated());
     });
     registry.add_gauge("broker_deferred_appends", [this] {
-        return static_cast<double>(broker_->deferred_appends_total());
+        return static_cast<double>(ordering_->deferred_appends_total());
     });
     // Parallel-validation gauges (appended, same contract as above).  All
     // zero in ValidationMode::kSerial, and — since the wave schedule is a
@@ -476,6 +538,56 @@ void FabricNetwork::register_metrics(obs::MetricRegistry& registry) {
     });
     registry.add_gauge("audit_windows_closed", [this] {
         return audit_ ? static_cast<double>(audit_->windows_closed()) : 0.0;
+    });
+
+    // Raft-backend gauges (appended, same never-shift contract).  All zero
+    // under the mq backend, so mq metrics JSON gains only constant columns.
+    registry.add_gauge("raft_term", [this] {
+        return raft_backend_ ? static_cast<double>(raft_backend_->current_term())
+                             : 0.0;
+    });
+    registry.add_gauge("raft_leader_changes", [this] {
+        return raft_backend_ ? static_cast<double>(raft_backend_->leader_changes())
+                             : 0.0;
+    });
+    registry.add_gauge("raft_elections", [this] {
+        return raft_backend_
+                   ? static_cast<double>(raft_backend_->elections_started())
+                   : 0.0;
+    });
+    registry.add_gauge("raft_commit_index", [this] {
+        return raft_backend_ ? static_cast<double>(raft_backend_->commit_index())
+                             : 0.0;
+    });
+    registry.add_gauge("raft_replication_lag", [this] {
+        return raft_backend_
+                   ? static_cast<double>(raft_backend_->replication_lag())
+                   : 0.0;
+    });
+    registry.add_gauge("raft_snapshot_installs", [this] {
+        return raft_backend_
+                   ? static_cast<double>(raft_backend_->snapshot_installs())
+                   : 0.0;
+    });
+    registry.add_gauge("raft_resubmissions", [this] {
+        return raft_backend_
+                   ? static_cast<double>(raft_backend_->leader_resubmissions())
+                   : 0.0;
+    });
+    registry.add_gauge("raft_dup_commits_skipped", [this] {
+        return raft_backend_
+                   ? static_cast<double>(raft_backend_->duplicate_commits_skipped())
+                   : 0.0;
+    });
+    registry.add_gauge("raft_messages_dropped", [this] {
+        return raft_backend_
+                   ? static_cast<double>(raft_backend_->messages_dropped())
+                   : 0.0;
+    });
+    registry.add_gauge("raft_consensus_messages", [this] {
+        return raft_backend_
+                   ? static_cast<double>(raft_backend_->consensus_messages())
+                   : 0.0;
     });
 }
 

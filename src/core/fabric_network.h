@@ -24,7 +24,9 @@
 #include "crypto/signature.h"
 #include "fault/fault_spec.h"
 #include "mq/broker.h"
+#include "orderer/ordering_backend.h"
 #include "orderer/osn.h"
+#include "raft/raft.h"
 #include "peer/peer.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -56,7 +58,15 @@ public:
     }
     [[nodiscard]] const chaincode::Registry& registry() const { return registry_; }
     [[nodiscard]] const crypto::KeyStore& keys() const { return keys_; }
-    [[nodiscard]] mq::Broker<orderer::OrderedRecord>& broker() { return *broker_; }
+    /// The ordering substrate, whichever backend is configured.
+    [[nodiscard]] orderer::OrderingBackend& ordering() { return *ordering_; }
+    /// The Kafka-style broker; throws std::logic_error under the Raft
+    /// backend (legacy accessor — prefer ordering()).
+    [[nodiscard]] mq::Broker<orderer::OrderedRecord>& broker();
+    /// The Raft cluster, or null when the mq backend is configured.
+    [[nodiscard]] raft::RaftOrderingBackend* raft_backend() {
+        return raft_backend_.get();
+    }
     [[nodiscard]] sim::Network& network() { return *net_; }
 
     /// Registers a completion callback wired to every client.
@@ -125,7 +135,10 @@ private:
     sim::Simulator sim_;
     Rng rng_;
     std::unique_ptr<sim::Network> net_;
-    std::unique_ptr<mq::Broker<orderer::OrderedRecord>> broker_;
+    std::unique_ptr<mq::Broker<orderer::OrderedRecord>> broker_;  ///< kMq only
+    std::unique_ptr<orderer::MqOrderingBackend> mq_backend_;      ///< kMq only
+    std::unique_ptr<raft::RaftOrderingBackend> raft_backend_;     ///< kRaft only
+    orderer::OrderingBackend* ordering_ = nullptr;  ///< the active backend
     crypto::KeyStore keys_;
     chaincode::Registry registry_;
 

@@ -32,6 +32,14 @@ enum class FaultKind : std::uint8_t {
     kEndorserNormal,  ///< peer endorsement cost back to configured value
     kBrokerDown,      ///< broker defers all appends (cluster outage)
     kBrokerUp,        ///< broker flushes deferred appends, resumes
+    // Raft-backend faults (no-ops under the mq backend).  Appended so the
+    // numeric values of the kinds above — serialized in traces — never move.
+    kRaftLeaderKill,   ///< crash whichever Raft node currently leads
+    kRaftNodeCrash,    ///< crash Raft node `target` (durable state survives)
+    kRaftNodeRestart,  ///< restart Raft node `target`; 0xFFFFFFFF = all crashed
+    kRaftPartition,    ///< isolate Raft node `target` from its peers
+    kRaftHeal,         ///< clear all Raft partitions
+    kRaftDrop,         ///< set Raft peer-message drop probability to `factor`
 };
 [[nodiscard]] const char* to_string(FaultKind kind);
 
@@ -63,6 +71,21 @@ struct FaultProfile {
 
     double expected_broker_outages = 0.0;
     Duration broker_outage_mean = Duration::millis(500);
+
+    // Raft chaos axes (all appended after the categories above, so enabling
+    // them never shifts the draws of an existing profile).  Leader kills
+    // pair with a restart-all-crashed recovery; partitions pair with a heal;
+    // drop windows raise the Raft peer-message loss rate to `raft_drop_prob`
+    // for the window, then restore it to zero.
+    double expected_raft_leader_kills = 0.0;
+    Duration raft_leader_downtime_mean = Duration::seconds(2);
+
+    double expected_raft_partitions = 0.0;
+    Duration raft_partition_mean = Duration::seconds(2);
+
+    double expected_raft_drop_windows = 0.0;
+    Duration raft_drop_window_mean = Duration::seconds(1);
+    double raft_drop_prob = 0.05;
 };
 
 /// Everything fault-related in one place; hangs off NetworkConfig.

@@ -16,6 +16,12 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kEndorserNormal: return "endorser_normal";
     case FaultKind::kBrokerDown: return "broker_down";
     case FaultKind::kBrokerUp: return "broker_up";
+    case FaultKind::kRaftLeaderKill: return "raft_leader_kill";
+    case FaultKind::kRaftNodeCrash: return "raft_node_crash";
+    case FaultKind::kRaftNodeRestart: return "raft_node_restart";
+    case FaultKind::kRaftPartition: return "raft_partition";
+    case FaultKind::kRaftHeal: return "raft_heal";
+    case FaultKind::kRaftDrop: return "raft_drop";
     }
     return "unknown";
 }
@@ -57,7 +63,8 @@ OutageDraws draw_outage(const FaultProfile& profile, Duration mean,
 
 std::vector<ScheduledFault> make_fault_schedule(const FaultProfile& profile,
                                                 Rng rng, std::uint32_t osns,
-                                                std::uint32_t peers) {
+                                                std::uint32_t peers,
+                                                std::uint32_t raft_nodes) {
     std::vector<ScheduledFault> out;
 
     const std::uint64_t crashes = realise_count(profile.expected_osn_crashes, rng);
@@ -94,6 +101,40 @@ std::vector<ScheduledFault> make_fault_schedule(const FaultProfile& profile,
             draw_outage(profile, profile.broker_outage_mean, 1, rng);
         out.push_back({d.start, FaultKind::kBrokerDown, 0, 1.0});
         out.push_back({d.start + d.duration, FaultKind::kBrokerUp, 0, 1.0});
+    }
+
+    // Raft categories draw after every pre-existing category, so profiles
+    // that leave them at zero rate produce byte-identical schedules to the
+    // pre-Raft injector (each category still burns its one chance() draw).
+    const std::uint64_t kills =
+        realise_count(profile.expected_raft_leader_kills, rng);
+    for (std::uint64_t i = 0; i < kills && raft_nodes > 0; ++i) {
+        const OutageDraws d =
+            draw_outage(profile, profile.raft_leader_downtime_mean, raft_nodes, rng);
+        // The victim is whichever node leads at fire time, so the recovery
+        // revives all crashed nodes rather than the (meaningless) drawn
+        // target; the target draw is still burned for stream-layout fixity.
+        out.push_back({d.start, FaultKind::kRaftLeaderKill, 0, 1.0});
+        out.push_back(
+            {d.start + d.duration, FaultKind::kRaftNodeRestart, 0xFFFFFFFFu, 1.0});
+    }
+
+    const std::uint64_t partitions =
+        realise_count(profile.expected_raft_partitions, rng);
+    for (std::uint64_t i = 0; i < partitions && raft_nodes > 0; ++i) {
+        const OutageDraws d =
+            draw_outage(profile, profile.raft_partition_mean, raft_nodes, rng);
+        out.push_back({d.start, FaultKind::kRaftPartition, d.target, 1.0});
+        out.push_back({d.start + d.duration, FaultKind::kRaftHeal, 0, 1.0});
+    }
+
+    const std::uint64_t drops =
+        realise_count(profile.expected_raft_drop_windows, rng);
+    for (std::uint64_t i = 0; i < drops && raft_nodes > 0; ++i) {
+        const OutageDraws d =
+            draw_outage(profile, profile.raft_drop_window_mean, raft_nodes, rng);
+        out.push_back({d.start, FaultKind::kRaftDrop, 0, profile.raft_drop_prob});
+        out.push_back({d.start + d.duration, FaultKind::kRaftDrop, 0, 0.0});
     }
 
     std::sort(out.begin(), out.end(),

@@ -17,8 +17,11 @@ namespace fl::fault {
 /// configured mean, and a target uniform over the component count; the
 /// matching recovery event is always emitted (possibly past the horizon).
 /// The result is sorted by (time, kind, target) so applying it in order is
-/// deterministic even when two faults coincide.
+/// deterministic even when two faults coincide.  `raft_nodes` sizes the
+/// targets of the Raft fault categories; the default 0 keeps pre-Raft call
+/// sites byte-identical (Raft categories draw but emit nothing).
 [[nodiscard]] std::vector<ScheduledFault> make_fault_schedule(
-    const FaultProfile& profile, Rng rng, std::uint32_t osns, std::uint32_t peers);
+    const FaultProfile& profile, Rng rng, std::uint32_t osns, std::uint32_t peers,
+    std::uint32_t raft_nodes = 0);
 
 }  // namespace fl::fault

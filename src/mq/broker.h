@@ -39,6 +39,10 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 
+namespace fl::raft {
+class RaftOrderingBackend;
+}
+
 namespace fl::mq {
 
 using Offset = std::uint64_t;
@@ -85,6 +89,9 @@ public:
 private:
     template <typename U>
     friend class Broker;
+    /// The Raft backend reuses Subscription for its committed-projection
+    /// fanout, so OSNs consume both backends through one type.
+    friend class fl::raft::RaftOrderingBackend;
 
     void on_push(Offset offset, T value) {
         pending_.emplace(offset, std::move(value));
@@ -158,7 +165,15 @@ public:
     /// would land if the broker were up.
     Offset produce_local(const std::string& topic, std::size_t size_bytes, T value) {
         TopicLog& log = topic_ref(topic);
-        const Offset off = static_cast<Offset>(log.records.size());
+        Offset off = static_cast<Offset>(log.records.size());
+        if (down_) {
+            // Deferred appends targeting this topic flush ahead of this one,
+            // so they occupy the next offsets; without this, every deferred
+            // produce during one outage would claim the same slot.
+            for (const Deferred& d : deferred_) {
+                if (d.topic == log.name) ++off;
+            }
+        }
         append_and_fanout(log, size_bytes + params_.record_overhead_bytes,
                           std::move(value));
         return off;

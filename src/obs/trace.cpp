@@ -33,6 +33,9 @@ const char* to_string(EventType type) {
     case EventType::kPriorityInversion: return "priority_inversion";
     case EventType::kStarvation: return "starvation";
     case EventType::kUnfairnessAlarm: return "unfairness_alarm";
+    case EventType::kRaftElection: return "raft_election";
+    case EventType::kRaftLeaderElected: return "raft_leader_elected";
+    case EventType::kRaftSnapshot: return "raft_snapshot";
     }
     return "unknown";
 }
@@ -44,6 +47,7 @@ const char* to_string(ActorKind kind) {
     case ActorKind::kOsn: return "osn";
     case ActorKind::kBroker: return "broker";
     case ActorKind::kAudit: return "audit";
+    case ActorKind::kRaft: return "raft";
     }
     return "unknown";
 }

@@ -57,10 +57,13 @@ enum class EventType : std::uint8_t {
     kPriorityInversion,  ///< audit: commit order violated priority/arrival order (audit, tx, priority, block, value=arrival seq, value2=prior seq)
     kStarvation,         ///< audit: client saw no service in a window (audit, actor=client, value=pending, value2=incident #)
     kUnfairnessAlarm,    ///< audit: Jain below threshold K windows  (audit, value=jain micro-units, value2=streak)
+    kRaftElection,       ///< raft: node started an election        (raft, actor=node, value=term)
+    kRaftLeaderElected,  ///< raft: node won an election            (raft, actor=node, value=term, value2=leader change #)
+    kRaftSnapshot,       ///< raft: follower installed a snapshot   (raft, actor=node, value=snap index, value2=snap term)
 };
 [[nodiscard]] const char* to_string(EventType type);
 
-enum class ActorKind : std::uint8_t { kClient = 0, kPeer, kOsn, kBroker, kAudit };
+enum class ActorKind : std::uint8_t { kClient = 0, kPeer, kOsn, kBroker, kAudit, kRaft };
 [[nodiscard]] const char* to_string(ActorKind kind);
 
 /// One typed event.  POD on purpose: emit sites fill integer fields only.

@@ -1,0 +1,170 @@
+// OrderingBackend — the pluggable ordering substrate behind the OSNs.
+//
+// The OSNs (and everything above them) only ever needed four things from the
+// Kafka-style `fl::mq::Broker`:
+//
+//   1. totally-ordered, offset-addressed append logs (one per priority
+//      level), fed by `produce` after producer->service network delay;
+//   2. offset-ordered subscriptions that replay from any committed offset —
+//      the hook OSN crash/restart recovery is built on;
+//   3. random-access reads over the committed prefix (consistency checks);
+//   4. an unavailability surface for fault injection (`set_down`, deferred
+//      appends) plus the type-erased append hook the observability and
+//      audit layers share.
+//
+// This interface captures exactly that contract, so the broker becomes one
+// implementation (`MqOrderingBackend`, a thin adapter) and the deterministic
+// simulated-time Raft cluster (`fl::raft::RaftOrderingBackend`, DESIGN.md
+// §15) the second.  The contract every implementation must honor:
+//
+//   - appends are atomic: offset assignment, the append hook and subscriber
+//     fanout happen at one simulated instant, in arrival order;
+//   - a record is fanned out to each live subscriber exactly once, over the
+//     reliable transport, and `read`/`log_of` only ever expose records that
+//     are durable (mq: appended; raft: replicated to a majority);
+//   - all randomness comes from streams owned by the implementation, so a
+//     fault-free run is byte-identical across backends and `--threads`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "mq/broker.h"
+#include "orderer/record.h"
+
+namespace fl::orderer {
+
+/// Backend selection for NetworkConfig (DESIGN.md §15).
+enum class OrderingBackendKind : std::uint8_t {
+    kMq = 0,  ///< single Kafka-style broker (the original substrate)
+    kRaft,    ///< deterministic simulated-time Raft cluster
+};
+
+[[nodiscard]] inline const char* to_string(OrderingBackendKind kind) {
+    switch (kind) {
+    case OrderingBackendKind::kMq: return "mq";
+    case OrderingBackendKind::kRaft: return "raft";
+    }
+    return "unknown";
+}
+
+class OrderingBackend {
+public:
+    using Record = OrderedRecord;
+    using SubscriptionT = mq::Subscription<OrderedRecord>;
+    /// Fired synchronously on every durable append: (topic, offset, record,
+    /// wire size).  Single slot, same semantics as Broker::AppendHook.
+    using AppendHook = std::function<void(const std::string&, mq::Offset,
+                                          const OrderedRecord&, std::size_t)>;
+
+    virtual ~OrderingBackend() = default;
+
+    /// Creates a topic; idempotent.
+    virtual void create_topic(const std::string& name) = 0;
+    [[nodiscard]] virtual bool has_topic(const std::string& name) const = 0;
+
+    /// Appends `value` after producer->service network delay and fans it out
+    /// to all subscribers once durable.
+    virtual void produce(const std::string& topic, NodeId producer,
+                         std::size_t size_bytes, OrderedRecord value) = 0;
+
+    /// Appends without the producer-side network hop (unit tests).  Returns
+    /// the offset the record will occupy once durable, accounting for
+    /// appends still in flight (deferred or not yet committed).
+    virtual mq::Offset produce_local(const std::string& topic,
+                                     std::size_t size_bytes,
+                                     OrderedRecord value) = 0;
+
+    /// Subscribes `consumer_node` from `from_offset`; the committed suffix
+    /// is replayed with network delay.  Throws std::out_of_range when
+    /// `from_offset` lies past the end of the topic.
+    virtual std::shared_ptr<SubscriptionT> subscribe(const std::string& topic,
+                                                     NodeId consumer_node,
+                                                     mq::Offset from_offset = 0) = 0;
+
+    /// Random-access read of one durable record.  Throws
+    /// std::invalid_argument (unknown topic) / std::out_of_range (past end).
+    [[nodiscard]] virtual const OrderedRecord& read(const std::string& topic,
+                                                    mq::Offset offset) const = 0;
+    [[nodiscard]] virtual std::size_t topic_size(const std::string& topic) const = 0;
+    [[nodiscard]] virtual const std::vector<OrderedRecord>& log_of(
+        const std::string& topic) const = 0;
+
+    /// Network address producers/consumers talk to (the broker node, or the
+    /// Raft cluster's bootstrap contact).
+    [[nodiscard]] virtual NodeId node() const = 0;
+
+    virtual void set_on_append(AppendHook hook) = 0;
+
+    // -- fault surface ------------------------------------------------------
+    /// Opens/closes a whole-service unavailability window.  mq: broker
+    /// outage with arrival-order deferred flush.  Raft: every node crashes
+    /// (durable state survives) and recovers, with buffered submissions
+    /// re-ordered once a leader re-emerges.
+    virtual void set_down(bool down) = 0;
+    [[nodiscard]] virtual bool is_down() const = 0;
+    [[nodiscard]] virtual std::uint64_t outages() const = 0;
+    /// Appends that arrived while the service could not commit them
+    /// (lifetime total).
+    [[nodiscard]] virtual std::uint64_t deferred_appends_total() const = 0;
+};
+
+/// Adapter presenting the Kafka-style broker through the interface.  Pure
+/// forwarding — a call through the adapter schedules exactly the events the
+/// direct call did, so pre-refactor byte output is preserved.
+class MqOrderingBackend final : public OrderingBackend {
+public:
+    explicit MqOrderingBackend(mq::Broker<OrderedRecord>& broker)
+        : broker_(broker) {}
+
+    void create_topic(const std::string& name) override {
+        broker_.create_topic(name);
+    }
+    [[nodiscard]] bool has_topic(const std::string& name) const override {
+        return broker_.has_topic(name);
+    }
+    void produce(const std::string& topic, NodeId producer, std::size_t size_bytes,
+                 OrderedRecord value) override {
+        broker_.produce(topic, producer, size_bytes, std::move(value));
+    }
+    mq::Offset produce_local(const std::string& topic, std::size_t size_bytes,
+                             OrderedRecord value) override {
+        return broker_.produce_local(topic, size_bytes, std::move(value));
+    }
+    std::shared_ptr<SubscriptionT> subscribe(const std::string& topic,
+                                             NodeId consumer_node,
+                                             mq::Offset from_offset = 0) override {
+        return broker_.subscribe(topic, consumer_node, from_offset);
+    }
+    [[nodiscard]] const OrderedRecord& read(const std::string& topic,
+                                            mq::Offset offset) const override {
+        return broker_.read(topic, offset);
+    }
+    [[nodiscard]] std::size_t topic_size(const std::string& topic) const override {
+        return broker_.topic_size(topic);
+    }
+    [[nodiscard]] const std::vector<OrderedRecord>& log_of(
+        const std::string& topic) const override {
+        return broker_.log_of(topic);
+    }
+    [[nodiscard]] NodeId node() const override { return broker_.node(); }
+    void set_on_append(AppendHook hook) override {
+        broker_.set_on_append(std::move(hook));
+    }
+    void set_down(bool down) override { broker_.set_down(down); }
+    [[nodiscard]] bool is_down() const override { return broker_.is_down(); }
+    [[nodiscard]] std::uint64_t outages() const override { return broker_.outages(); }
+    [[nodiscard]] std::uint64_t deferred_appends_total() const override {
+        return broker_.deferred_appends_total();
+    }
+
+private:
+    mq::Broker<OrderedRecord>& broker_;
+};
+
+}  // namespace fl::orderer

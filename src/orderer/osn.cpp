@@ -7,12 +7,25 @@
 
 namespace fl::orderer {
 
+Osn::Osn(sim::Simulator& sim, sim::Network& net, OrderingBackend& backend,
+         const crypto::KeyStore& keys, const policy::ChannelConfig& channel,
+         OsnParams params, OsnId id, NodeId node)
+    : Osn(sim, net, nullptr, &backend, keys, channel, params, id, node) {}
+
 Osn::Osn(sim::Simulator& sim, sim::Network& net, BrokerT& broker,
+         const crypto::KeyStore& keys, const policy::ChannelConfig& channel,
+         OsnParams params, OsnId id, NodeId node)
+    : Osn(sim, net, std::make_unique<MqOrderingBackend>(broker), nullptr, keys,
+          channel, params, id, node) {}
+
+Osn::Osn(sim::Simulator& sim, sim::Network& net,
+         std::unique_ptr<OrderingBackend> owned, OrderingBackend* external,
          const crypto::KeyStore& keys, const policy::ChannelConfig& channel,
          OsnParams params, OsnId id, NodeId node)
     : sim_(sim),
       net_(net),
-      broker_(broker),
+      owned_backend_(std::move(owned)),
+      ordering_(external != nullptr ? *external : *owned_backend_),
       channel_(channel),
       params_(params),
       id_(id),
@@ -47,7 +60,7 @@ void Osn::start() {
     MultiQueueBlockGenerator::Subscriptions subs;
     subs.reserve(levels);
     for (std::uint32_t level = 0; level < levels; ++level) {
-        subs.push_back(broker_.subscribe(channel_.topic_for_level(level), node_));
+        subs.push_back(ordering_.subscribe(channel_.topic_for_level(level), node_));
     }
 
     generator_ = std::make_unique<MultiQueueBlockGenerator>(
@@ -150,7 +163,7 @@ void Osn::broadcast(std::shared_ptr<const ledger::Envelope> envelope) {
             envelope = std::move(stamped);
         }
         const std::size_t wire = envelope->wire_size();
-        broker_.produce(channel_.topic_for_level(level), node_, wire,
+        ordering_.produce(channel_.topic_for_level(level), node_, wire,
                         OrderedRecord::transaction(std::move(envelope)));
     });
 }
@@ -158,7 +171,7 @@ void Osn::broadcast(std::shared_ptr<const ledger::Envelope> envelope) {
 void Osn::send_ttc(BlockNumber block) {
     const std::uint32_t levels = channel_.effective_levels();
     for (std::uint32_t level = 0; level < levels; ++level) {
-        broker_.produce(channel_.topic_for_level(level), node_, 24,
+        ordering_.produce(channel_.topic_for_level(level), node_, 24,
                         OrderedRecord::time_to_cut(block, id_));
     }
 }
@@ -228,7 +241,7 @@ void Osn::submit_config_update(const policy::BlockFormationPolicy& new_policy) {
     OrderedRecord record =
         OrderedRecord::config_update(new_policy.quotas(channel_.block_size));
     const std::size_t wire = record.wire_size();
-    broker_.produce(channel_.topic_for_level(0), node_, wire, std::move(record));
+    ordering_.produce(channel_.topic_for_level(0), node_, wire, std::move(record));
 }
 
 void Osn::connect_peer(

@@ -1,0 +1,42 @@
+// Raft ordering-backend tunables.  Split from raft.h so NetworkConfig can
+// embed the struct without pulling the whole consensus implementation into
+// every translation unit that touches core/config.h.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace fl::raft {
+
+struct RaftParams {
+    /// Cluster size.  3 tolerates one failure (the production Fabric
+    /// minimum); 5 tolerates two.  1 degenerates to a replicated log with a
+    /// permanent leader.
+    std::uint32_t nodes = 3;
+
+    /// Election timeout drawn uniform in [min, max) per arming, from each
+    /// node's own seeded stream — randomized enough to break split votes,
+    /// deterministic enough to keep chaos JSON byte-identical (DESIGN.md
+    /// §15).  Raft's canonical 150–300 ms.
+    Duration election_timeout_min = Duration::millis(150);
+    Duration election_timeout_max = Duration::millis(300);
+
+    /// Leader re-sync cadence while some reachable follower is behind and
+    /// acks are being lost (message drops).  Quiescence-gated: never armed
+    /// when every reachable follower is caught up, so the simulation still
+    /// drains.
+    Duration retry_interval = Duration::millis(50);
+
+    /// A node compacts its log once more than this many committed entries
+    /// sit above its snapshot; a follower whose next index falls below the
+    /// leader's snapshot is caught up via InstallSnapshot.
+    std::uint64_t snapshot_threshold = 4096;
+
+    /// Seeded per-message drop probability between Raft peers (the
+    /// unreliable-path chaos axis); also settable mid-run by the fault
+    /// injector (kRaftDrop).
+    double drop_prob = 0.0;
+};
+
+}  // namespace fl::raft

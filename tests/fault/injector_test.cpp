@@ -133,6 +133,16 @@ TEST(InjectorTest, TargetsStayInRange) {
             case FaultKind::kBrokerUp:
                 EXPECT_EQ(f.target, 0u);
                 break;
+            case FaultKind::kRaftLeaderKill:
+            case FaultKind::kRaftPartition:
+            case FaultKind::kRaftNodeCrash:
+            case FaultKind::kRaftHeal:
+            case FaultKind::kRaftDrop:
+                EXPECT_LT(f.target, 3u);
+                break;
+            case FaultKind::kRaftNodeRestart:
+                EXPECT_TRUE(f.target < 3u || f.target == 0xFFFFFFFFu);
+                break;
         }
     }
 }

@@ -132,6 +132,53 @@ TEST(BrokerEdgeTest, OutageTransitionsAreIdempotentAndCounted) {
     f.broker.set_down(false);
 }
 
+TEST(BrokerEdgeTest, DeferredProducesClaimDistinctOffsets) {
+    // Regression: during an outage every produce_local used to report
+    // log.records.size() — so all deferred appends claimed the same slot.
+    // The promised offset must account for deferred records ahead of it.
+    Fixture f;
+    f.broker.create_topic("t");
+    f.broker.create_topic("u");
+    EXPECT_EQ(f.broker.produce_local("t", 10, 1), 0u);
+
+    f.broker.set_down(true);
+    EXPECT_EQ(f.broker.produce_local("t", 10, 2), 1u);
+    EXPECT_EQ(f.broker.produce_local("t", 10, 3), 2u);
+    // A different topic's deferred queue does not shift this topic's offsets.
+    EXPECT_EQ(f.broker.produce_local("u", 10, 9), 0u);
+    EXPECT_EQ(f.broker.produce_local("t", 10, 4), 3u);
+
+    f.broker.set_down(false);
+    EXPECT_EQ(f.broker.log_of("t"), (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(f.broker.log_of("u"), (std::vector<int>{9}));
+}
+
+TEST(BrokerEdgeTest, SubscribeDuringOutageReceivesTheFlush) {
+    // A consumer that subscribes mid-outage sees the committed prefix only;
+    // deferred records arrive like any other post-subscribe append.
+    Fixture f;
+    f.broker.create_topic("t");
+    f.broker.produce_local("t", 10, 1);
+
+    f.broker.set_down(true);
+    f.broker.produce_local("t", 10, 2);
+    auto sub = f.broker.subscribe("t", NodeId{5});
+    // Offset == committed size is legal during the outage too: the deferred
+    // record is not yet part of the log.
+    auto tail = f.broker.subscribe("t", NodeId{6}, 1);
+    // ...but the deferred append's eventual offset is still out of range.
+    EXPECT_THROW((void)f.broker.subscribe("t", NodeId{7}, 2), std::out_of_range);
+
+    f.broker.set_down(false);
+    f.sim.run();
+    std::vector<int> full;
+    while (sub->has_ready()) full.push_back(sub->pop());
+    EXPECT_EQ(full, (std::vector<int>{1, 2}));
+    std::vector<int> suffix;
+    while (tail->has_ready()) suffix.push_back(tail->pop());
+    EXPECT_EQ(suffix, (std::vector<int>{2}));
+}
+
 TEST(BrokerEdgeTest, ExpiredSubscriberIsPrunedNotPushed) {
     Fixture f;
     f.broker.create_topic("t");

@@ -1,0 +1,263 @@
+// Chaos integration for the Raft ordering backend: the full pipeline under
+// leader kills, minority partitions, lossy consensus windows and OSN
+// crash/restart replay — all from the deterministic fault schedule.  Asserts
+// the chaos_test invariant suite plus the Raft safety properties (committed
+// prefixes consistent across nodes, exactly-once apply, byte-identical
+// reruns), and the ISSUE's OSN-restart × term-change replay scenario.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fabric_network.h"
+#include "harness/workload.h"
+
+namespace fl {
+namespace {
+
+core::NetworkConfig raft_chaos_config(std::uint64_t seed) {
+    core::NetworkConfig cfg;
+    cfg.orgs = 4;
+    cfg.osns = 3;
+    cfg.clients = 3;
+    cfg.seed = seed;
+    cfg.endorsement_k = 2;
+    cfg.ordering_backend = orderer::OrderingBackendKind::kRaft;
+    cfg.channel.priority_enabled = true;
+    cfg.channel.priority_levels = 3;
+    cfg.channel.block_policy = policy::BlockFormationPolicy::parse("2:3:1");
+    cfg.channel.block_size = 50;
+    cfg.channel.block_timeout = Duration::millis(200);
+
+    client::RetryParams& retry = cfg.client_params.retry;
+    retry.enabled = true;
+    retry.endorsement_timeout = Duration::millis(300);
+    retry.max_endorse_retries = 3;
+    retry.commit_timeout = Duration::seconds(3);
+    retry.max_resubmissions = 3;
+    retry.backoff_base = Duration::millis(50);
+
+    fault::FaultProfile profile;
+    profile.horizon = Duration::seconds(6);
+    profile.expected_osn_crashes = 1.0;
+    profile.osn_downtime_mean = Duration::seconds(1);
+    profile.expected_raft_leader_kills = 1.5;
+    profile.raft_leader_downtime_mean = Duration::millis(800);
+    profile.expected_raft_partitions = 1.0;
+    profile.raft_partition_mean = Duration::millis(600);
+    profile.expected_raft_drop_windows = 1.0;
+    profile.raft_drop_window_mean = Duration::millis(500);
+    profile.raft_drop_prob = 0.1;
+    cfg.faults.profile = profile;
+    return cfg;
+}
+
+struct Outcome {
+    std::vector<client::TxRecord> records;
+    core::MetricsCollector metrics;
+};
+
+Outcome drive(core::FabricNetwork& net, std::uint64_t total) {
+    Outcome out;
+    net.set_tx_sink([&out](const client::TxRecord& r) {
+        out.records.push_back(r);
+        out.metrics.record(r);
+    });
+    harness::Workload workload;
+    for (std::size_t c = 0; c < net.clients().size(); ++c) {
+        harness::LoadSpec load;
+        load.client_index = c;
+        load.tps = 50.0;
+        load.generate = harness::priority_class_mix({1, 2, 1});
+        workload.loads.push_back(std::move(load));
+    }
+    workload.distribute_total(total);
+    harness::WorkloadDriver driver(net, std::move(workload), Rng(net.config().seed));
+    driver.start();
+    net.run();
+    return out;
+}
+
+std::string metrics_json(const core::MetricsCollector& metrics) {
+    std::ostringstream os;
+    core::write_metrics_json(os, metrics);
+    return os.str();
+}
+
+void check_invariants(core::FabricNetwork& net, const Outcome& out) {
+    // The chaos_test suite: block-sequence agreement, verified chains, no
+    // double commit, exactly one terminal state per submission.
+    EXPECT_TRUE(net.osn_blocks_prefix_consistent());
+    bool all_alive = true;
+    for (const auto& osn : net.osns()) {
+        EXPECT_EQ(osn->replay_hash_mismatches(), 0u);
+        all_alive = all_alive && osn->alive();
+    }
+    EXPECT_TRUE(all_alive);
+    if (all_alive) {
+        EXPECT_TRUE(net.osn_blocks_identical());
+    }
+
+    for (const auto& peer : net.peers()) {
+        EXPECT_TRUE(peer->chain().verify_chain());
+        EXPECT_GT(peer->chain().height(), 0u);
+    }
+
+    const ledger::BlockStore& chain = net.peers().front()->chain();
+    std::set<TxId> committed;
+    for (std::size_t b = 0; b < chain.height(); ++b) {
+        const ledger::Block& block = chain.at(b);
+        ASSERT_EQ(block.validation_codes.size(), block.transactions.size());
+        for (std::size_t i = 0; i < block.transactions.size(); ++i) {
+            if (block.validation_codes[i] == TxValidationCode::kValid) {
+                EXPECT_TRUE(committed.insert(block.transactions[i].tx_id()).second)
+                    << "tx committed twice";
+            }
+        }
+    }
+
+    std::uint64_t submitted = 0;
+    for (const auto& client : net.clients()) {
+        EXPECT_EQ(client->pending(), 0u);
+        EXPECT_EQ(client->submitted(),
+                  client->completed() + client->client_side_failures());
+        submitted += client->submitted();
+    }
+    EXPECT_EQ(out.metrics.total(), submitted);
+    EXPECT_EQ(out.records.size(), submitted);
+
+    // Raft safety on top: every pair of node logs agrees over the committed
+    // prefix, and nothing a client submitted is stuck in flight.
+    ASSERT_NE(net.raft_backend(), nullptr);
+    EXPECT_TRUE(net.raft_backend()->committed_prefixes_consistent());
+    EXPECT_EQ(net.raft_backend()->pending_submissions(), 0u);
+}
+
+TEST(RaftChaosTest, InvariantsHoldAcrossSeeds) {
+    std::uint64_t total_leader_changes = 0;
+    std::uint64_t total_dup_skips = 0;
+    for (std::uint64_t seed : {101u, 202u, 303u, 404u, 505u, 606u}) {
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        core::FabricNetwork net(raft_chaos_config(seed));
+        EXPECT_FALSE(net.fault_schedule().empty());
+        const Outcome out = drive(net, 300);
+        check_invariants(net, out);
+        EXPECT_GT(net.faults_applied(), 0u);
+        total_leader_changes += net.raft_backend()->leader_changes();
+        total_dup_skips += net.raft_backend()->duplicate_commits_skipped();
+    }
+    // The seed set must actually exercise failover (pinned by determinism):
+    // the cluster re-elected at least once, and the exactly-once guard is
+    // what kept those runs duplicate-free — not luck.
+    EXPECT_GT(total_leader_changes, 0u);
+    (void)total_dup_skips;  // may be 0 if every kill landed between batches
+}
+
+TEST(RaftChaosTest, ChaosRunIsAPureFunctionOfConfigAndSeed) {
+    core::FabricNetwork a(raft_chaos_config(777));
+    core::FabricNetwork b(raft_chaos_config(777));
+    const Outcome ra = drive(a, 250);
+    const Outcome rb = drive(b, 250);
+    ASSERT_EQ(a.fault_schedule().size(), b.fault_schedule().size());
+    for (std::size_t i = 0; i < a.fault_schedule().size(); ++i) {
+        EXPECT_EQ(a.fault_schedule()[i].at, b.fault_schedule()[i].at);
+        EXPECT_EQ(a.fault_schedule()[i].kind, b.fault_schedule()[i].kind);
+        EXPECT_EQ(a.fault_schedule()[i].target, b.fault_schedule()[i].target);
+    }
+    // The entire consensus timeline replays: same elections, same terms,
+    // same winners, same message loss — then identical ledgers and bytes.
+    EXPECT_EQ(a.raft_backend()->elections_started(),
+              b.raft_backend()->elections_started());
+    EXPECT_EQ(a.raft_backend()->leader_changes(), b.raft_backend()->leader_changes());
+    EXPECT_EQ(a.raft_backend()->current_term(), b.raft_backend()->current_term());
+    EXPECT_EQ(a.raft_backend()->messages_dropped(),
+              b.raft_backend()->messages_dropped());
+    EXPECT_EQ(a.raft_backend()->consensus_messages(),
+              b.raft_backend()->consensus_messages());
+    EXPECT_EQ(a.peers().front()->chain().chain_fingerprint(),
+              b.peers().front()->chain().chain_fingerprint());
+    EXPECT_EQ(metrics_json(ra.metrics), metrics_json(rb.metrics));
+}
+
+TEST(RaftChaosTest, DifferentSeedsGiveDifferentChaos) {
+    core::FabricNetwork a(raft_chaos_config(11));
+    core::FabricNetwork b(raft_chaos_config(12));
+    const Outcome ra = drive(a, 250);
+    const Outcome rb = drive(b, 250);
+    EXPECT_NE(metrics_json(ra.metrics), metrics_json(rb.metrics));
+}
+
+TEST(RaftChaosTest, OsnRestartReplaysAcrossATermChange) {
+    // The ISSUE's combined scenario: OSN 1 crashes, the Raft leader is then
+    // killed (term change + re-election while the OSN is down), the cluster
+    // heals, and OSN 1 restarts.  Its replay reads the committed projection
+    // — which now spans two terms — and must rebuild the exact block
+    // sequence with zero hash mismatches and no double-counted records.
+    core::NetworkConfig cfg = raft_chaos_config(31);
+    cfg.faults.profile.reset();
+    cfg.faults.schedule = {
+        {Duration::millis(700), fault::FaultKind::kOsnCrash, 1},
+        {Duration::millis(900), fault::FaultKind::kRaftLeaderKill, 0},
+        {Duration::millis(1700), fault::FaultKind::kRaftNodeRestart, raft::kAllNodes},
+        {Duration::millis(2400), fault::FaultKind::kOsnRestart, 1},
+    };
+    core::FabricNetwork net(cfg);
+    const Outcome out = drive(net, 300);
+
+    EXPECT_EQ(net.faults_applied(), 4u);
+    EXPECT_EQ(net.osns()[1]->crashes(), 1u);
+    EXPECT_EQ(net.osns()[1]->restarts(), 1u);
+    EXPECT_EQ(net.osns()[1]->replay_hash_mismatches(), 0u);
+    EXPECT_TRUE(net.osns()[1]->alive());
+    EXPECT_TRUE(net.osn_blocks_identical());
+    EXPECT_TRUE(net.chains_identical());
+    EXPECT_TRUE(net.states_identical());
+
+    ASSERT_NE(net.raft_backend(), nullptr);
+    EXPECT_GE(net.raft_backend()->node_crashes(), 1u);
+    EXPECT_GE(net.raft_backend()->leader_changes(), 1u);
+    EXPECT_GE(net.raft_backend()->current_term(), 2u);
+    EXPECT_TRUE(net.raft_backend()->committed_prefixes_consistent());
+    check_invariants(net, out);
+}
+
+TEST(RaftChaosTest, PartitionedMinorityWindowKeepsSafety) {
+    // Partition Raft node 0 (the bootstrap leader) for a window mid-run:
+    // the majority side elects a successor and every submission accepted by
+    // the stale leader is re-proposed — committed exactly once.
+    core::NetworkConfig cfg = raft_chaos_config(42);
+    cfg.faults.profile.reset();
+    cfg.faults.schedule = {
+        {Duration::millis(600), fault::FaultKind::kRaftPartition, 0},
+        {Duration::millis(1400), fault::FaultKind::kRaftHeal, 0},
+    };
+    core::FabricNetwork net(cfg);
+    const Outcome out = drive(net, 300);
+
+    EXPECT_EQ(net.faults_applied(), 2u);
+    ASSERT_NE(net.raft_backend(), nullptr);
+    EXPECT_GE(net.raft_backend()->leader_changes(), 1u);
+    EXPECT_GT(net.raft_backend()->leader_resubmissions(), 0u);
+    check_invariants(net, out);
+}
+
+TEST(RaftChaosTest, LossyConsensusWindowRetriesToCompletion) {
+    core::NetworkConfig cfg = raft_chaos_config(7);
+    cfg.faults.profile.reset();
+    cfg.faults.schedule = {
+        {Duration::millis(200), fault::FaultKind::kRaftDrop, 0, 0.25},
+        {Duration::millis(2500), fault::FaultKind::kRaftDrop, 0, 0.0},
+    };
+    core::FabricNetwork net(cfg);
+    const Outcome out = drive(net, 300);
+
+    ASSERT_NE(net.raft_backend(), nullptr);
+    EXPECT_GT(net.raft_backend()->messages_dropped(), 0u);
+    EXPECT_EQ(net.raft_backend()->replication_lag(), 0u);
+    check_invariants(net, out);
+}
+
+}  // namespace
+}  // namespace fl
