@@ -354,14 +354,15 @@ void FabricNetwork::install_broker_hook() {
         });
 }
 
-void FabricNetwork::register_metrics(obs::MetricRegistry& registry) {
+void FabricNetwork::register_metrics(obs::MetricRegistry& registry,
+                                     const std::string& prefix) {
     // Queue depth (consumer lag) per priority level, seen by OSN 0's
     // generator: records appended minus records its subscription consumed.
     const orderer::Osn* osn0 = osns_.front().get();
     for (std::uint32_t l = 0; l < config_.channel.effective_levels(); ++l) {
         const std::string topic = config_.channel.topic_for_level(l);
         registry.add_gauge(
-            "queue_depth_p" + std::to_string(l), [this, osn0, topic, l] {
+            prefix + "queue_depth_p" + std::to_string(l), [this, osn0, topic, l] {
                 const auto* gen = osn0->generator();
                 const std::uint64_t consumed =
                     gen ? gen->subscriptions()[l]->consumed_count() : 0;
@@ -370,19 +371,19 @@ void FabricNetwork::register_metrics(obs::MetricRegistry& registry) {
             });
     }
     for (std::uint32_t l = 0; l < config_.channel.effective_levels(); ++l) {
-        registry.add_gauge("block_fill_p" + std::to_string(l), [osn0, l] {
+        registry.add_gauge(prefix + "block_fill_p" + std::to_string(l), [osn0, l] {
             return static_cast<double>(osn0->level_totals()[l]);
         });
     }
-    registry.add_gauge("blocks_cut", [osn0] {
+    registry.add_gauge(prefix + "blocks_cut", [osn0] {
         const auto* gen = osn0->generator();
         return gen ? static_cast<double>(gen->blocks_cut()) : 0.0;
     });
-    registry.add_gauge("quota_transfers", [osn0] {
+    registry.add_gauge(prefix + "quota_transfers", [osn0] {
         const auto* gen = osn0->generator();
         return gen ? static_cast<double>(gen->quota_transfers()) : 0.0;
     });
-    registry.add_gauge("ttcs_sent", [this] {
+    registry.add_gauge(prefix + "ttcs_sent", [this] {
         double total = 0.0;
         for (const auto& o : osns_) {
             if (const auto* gen = o->generator()) {
@@ -391,7 +392,7 @@ void FabricNetwork::register_metrics(obs::MetricRegistry& registry) {
         }
         return total;
     });
-    registry.add_gauge("stale_ttcs", [this] {
+    registry.add_gauge(prefix + "stale_ttcs", [this] {
         double total = 0.0;
         for (const auto& o : osns_) {
             if (const auto* gen = o->generator()) {
@@ -400,34 +401,34 @@ void FabricNetwork::register_metrics(obs::MetricRegistry& registry) {
         }
         return total;
     });
-    registry.add_gauge("mvcc_priority_wins", [this] {
+    registry.add_gauge(prefix + "mvcc_priority_wins", [this] {
         double total = 0.0;
         for (const auto& p : peers_) {
             total += static_cast<double>(p->mvcc_priority_wins());
         }
         return total;
     });
-    registry.add_gauge("mvcc_fifo_wins", [this] {
+    registry.add_gauge(prefix + "mvcc_fifo_wins", [this] {
         double total = 0.0;
         for (const auto& p : peers_) {
             total += static_cast<double>(p->mvcc_fifo_wins());
         }
         return total;
     });
-    registry.add_gauge("txs_valid", [this] {
+    registry.add_gauge(prefix + "txs_valid", [this] {
         return static_cast<double>(peers_.front()->txs_valid());
     });
-    registry.add_gauge("txs_invalid", [this] {
+    registry.add_gauge(prefix + "txs_invalid", [this] {
         return static_cast<double>(peers_.front()->txs_invalid());
     });
-    registry.add_gauge("endorse_failures", [this] {
+    registry.add_gauge(prefix + "endorse_failures", [this] {
         double total = 0.0;
         for (const auto& c : clients_) {
             total += static_cast<double>(c->client_side_failures());
         }
         return total;
     });
-    registry.add_gauge("consolidation_failures", [this] {
+    registry.add_gauge(prefix + "consolidation_failures", [this] {
         double total = 0.0;
         for (const auto& o : osns_) {
             total += static_cast<double>(o->consolidation_failures());
@@ -436,61 +437,61 @@ void FabricNetwork::register_metrics(obs::MetricRegistry& registry) {
     });
     // Degradation gauges (appended — tests look gauges up by name, so new
     // entries never shift existing series).  All zero in fault-free runs.
-    registry.add_gauge("endorse_timeouts", [this] {
+    registry.add_gauge(prefix + "endorse_timeouts", [this] {
         double total = 0.0;
         for (const auto& c : clients_) total += static_cast<double>(c->endorse_timeouts());
         return total;
     });
-    registry.add_gauge("endorse_retries", [this] {
+    registry.add_gauge(prefix + "endorse_retries", [this] {
         double total = 0.0;
         for (const auto& c : clients_) total += static_cast<double>(c->endorse_retries());
         return total;
     });
-    registry.add_gauge("resubmissions", [this] {
+    registry.add_gauge(prefix + "resubmissions", [this] {
         double total = 0.0;
         for (const auto& c : clients_) total += static_cast<double>(c->resubmissions());
         return total;
     });
-    registry.add_gauge("commit_timeouts", [this] {
+    registry.add_gauge(prefix + "commit_timeouts", [this] {
         double total = 0.0;
         for (const auto& c : clients_) total += static_cast<double>(c->commit_timeouts());
         return total;
     });
-    registry.add_gauge("osn_crashes", [this] {
+    registry.add_gauge(prefix + "osn_crashes", [this] {
         double total = 0.0;
         for (const auto& o : osns_) total += static_cast<double>(o->crashes());
         return total;
     });
-    registry.add_gauge("osn_restarts", [this] {
+    registry.add_gauge(prefix + "osn_restarts", [this] {
         double total = 0.0;
         for (const auto& o : osns_) total += static_cast<double>(o->restarts());
         return total;
     });
-    registry.add_gauge("messages_dropped", [this] {
+    registry.add_gauge(prefix + "messages_dropped", [this] {
         return static_cast<double>(net_->messages_dropped());
     });
-    registry.add_gauge("messages_duplicated", [this] {
+    registry.add_gauge(prefix + "messages_duplicated", [this] {
         return static_cast<double>(net_->messages_duplicated());
     });
-    registry.add_gauge("broker_deferred_appends", [this] {
+    registry.add_gauge(prefix + "broker_deferred_appends", [this] {
         return static_cast<double>(ordering_->deferred_appends_total());
     });
     // Parallel-validation gauges (appended, same contract as above).  All
     // zero in ValidationMode::kSerial, and — since the wave schedule is a
     // pure function of block contents — identical at every pool size.
-    registry.add_gauge("validation_parallel_blocks", [this] {
+    registry.add_gauge(prefix + "validation_parallel_blocks", [this] {
         return static_cast<double>(peers_.front()->blocks_wave_validated());
     });
-    registry.add_gauge("validation_parallel_waves", [this] {
+    registry.add_gauge(prefix + "validation_parallel_waves", [this] {
         return static_cast<double>(peers_.front()->validation_waves());
     });
-    registry.add_gauge("validation_conflict_edges", [this] {
+    registry.add_gauge(prefix + "validation_conflict_edges", [this] {
         return static_cast<double>(peers_.front()->conflict_edges());
     });
-    registry.add_gauge("validation_parallel_txs", [this] {
+    registry.add_gauge(prefix + "validation_parallel_txs", [this] {
         return static_cast<double>(peers_.front()->txs_parallel_checked());
     });
-    registry.add_gauge("validation_largest_component", [this] {
+    registry.add_gauge(prefix + "validation_largest_component", [this] {
         return static_cast<double>(peers_.front()->largest_conflict_component());
     });
 
@@ -499,23 +500,23 @@ void FabricNetwork::register_metrics(obs::MetricRegistry& registry) {
     // sequence, so these samples stay byte-identical at any --threads; the
     // host-dependent try-lock contention counters deliberately never appear
     // here (DESIGN.md §13).
-    registry.add_gauge("state_keys", [this] {
+    registry.add_gauge(prefix + "state_keys", [this] {
         return static_cast<double>(peers_.front()->state().key_count());
     });
-    registry.add_gauge("state_bytes", [this] {
+    registry.add_gauge(prefix + "state_bytes", [this] {
         return static_cast<double>(peers_.front()->state().approx_memory_bytes());
     });
-    registry.add_gauge("state_shard_max_keys", [this] {
+    registry.add_gauge(prefix + "state_shard_max_keys", [this] {
         return static_cast<double>(peers_.front()->state().max_shard_keys());
     });
-    registry.add_gauge("state_shard_read_locks", [this] {
+    registry.add_gauge(prefix + "state_shard_read_locks", [this] {
         return static_cast<double>(peers_.front()->state().total_stats().read_locks);
     });
-    registry.add_gauge("state_shard_write_locks", [this] {
+    registry.add_gauge(prefix + "state_shard_write_locks", [this] {
         return static_cast<double>(
             peers_.front()->state().total_stats().write_locks);
     });
-    registry.add_gauge("state_shard_hottest_reads", [this] {
+    registry.add_gauge(prefix + "state_shard_hottest_reads", [this] {
         const ledger::WorldState& state = peers_.front()->state();
         std::uint64_t hottest = 0;
         for (std::size_t i = 0; i < state.shard_count(); ++i) {
@@ -527,64 +528,64 @@ void FabricNetwork::register_metrics(obs::MetricRegistry& registry) {
     // Fairness-audit gauges: live detector counters, 0 when no accountant is
     // attached (the gauges read through the member so set_audit ordering
     // relative to register_metrics does not matter).
-    registry.add_gauge("audit_priority_inversions", [this] {
+    registry.add_gauge(prefix + "audit_priority_inversions", [this] {
         return audit_ ? static_cast<double>(audit_->priority_inversions()) : 0.0;
     });
-    registry.add_gauge("audit_starvations", [this] {
+    registry.add_gauge(prefix + "audit_starvations", [this] {
         return audit_ ? static_cast<double>(audit_->starvation_incidents()) : 0.0;
     });
-    registry.add_gauge("audit_alarm_trips", [this] {
+    registry.add_gauge(prefix + "audit_alarm_trips", [this] {
         return audit_ ? static_cast<double>(audit_->alarm_trips()) : 0.0;
     });
-    registry.add_gauge("audit_windows_closed", [this] {
+    registry.add_gauge(prefix + "audit_windows_closed", [this] {
         return audit_ ? static_cast<double>(audit_->windows_closed()) : 0.0;
     });
 
     // Raft-backend gauges (appended, same never-shift contract).  All zero
     // under the mq backend, so mq metrics JSON gains only constant columns.
-    registry.add_gauge("raft_term", [this] {
+    registry.add_gauge(prefix + "raft_term", [this] {
         return raft_backend_ ? static_cast<double>(raft_backend_->current_term())
                              : 0.0;
     });
-    registry.add_gauge("raft_leader_changes", [this] {
+    registry.add_gauge(prefix + "raft_leader_changes", [this] {
         return raft_backend_ ? static_cast<double>(raft_backend_->leader_changes())
                              : 0.0;
     });
-    registry.add_gauge("raft_elections", [this] {
+    registry.add_gauge(prefix + "raft_elections", [this] {
         return raft_backend_
                    ? static_cast<double>(raft_backend_->elections_started())
                    : 0.0;
     });
-    registry.add_gauge("raft_commit_index", [this] {
+    registry.add_gauge(prefix + "raft_commit_index", [this] {
         return raft_backend_ ? static_cast<double>(raft_backend_->commit_index())
                              : 0.0;
     });
-    registry.add_gauge("raft_replication_lag", [this] {
+    registry.add_gauge(prefix + "raft_replication_lag", [this] {
         return raft_backend_
                    ? static_cast<double>(raft_backend_->replication_lag())
                    : 0.0;
     });
-    registry.add_gauge("raft_snapshot_installs", [this] {
+    registry.add_gauge(prefix + "raft_snapshot_installs", [this] {
         return raft_backend_
                    ? static_cast<double>(raft_backend_->snapshot_installs())
                    : 0.0;
     });
-    registry.add_gauge("raft_resubmissions", [this] {
+    registry.add_gauge(prefix + "raft_resubmissions", [this] {
         return raft_backend_
                    ? static_cast<double>(raft_backend_->leader_resubmissions())
                    : 0.0;
     });
-    registry.add_gauge("raft_dup_commits_skipped", [this] {
+    registry.add_gauge(prefix + "raft_dup_commits_skipped", [this] {
         return raft_backend_
                    ? static_cast<double>(raft_backend_->duplicate_commits_skipped())
                    : 0.0;
     });
-    registry.add_gauge("raft_messages_dropped", [this] {
+    registry.add_gauge(prefix + "raft_messages_dropped", [this] {
         return raft_backend_
                    ? static_cast<double>(raft_backend_->messages_dropped())
                    : 0.0;
     });
-    registry.add_gauge("raft_consensus_messages", [this] {
+    registry.add_gauge(prefix + "raft_consensus_messages", [this] {
         return raft_backend_
                    ? static_cast<double>(raft_backend_->consensus_messages())
                    : 0.0;

@@ -91,7 +91,13 @@ public:
     /// fill, generator/validator/consolidation counters) on `registry`.
     /// Gauges read live component state; sample them via a
     /// TimeSeriesRecorder on this network's simulator.
-    void register_metrics(obs::MetricRegistry& registry);
+    void register_metrics(obs::MetricRegistry& registry) {
+        register_metrics(registry, std::string{});
+    }
+    /// Same, with every gauge name prefixed (identifier characters only,
+    /// e.g. "ch7_") so multiple networks — one per channel in a
+    /// MultiChannelNetwork — share one registry without name collisions.
+    void register_metrics(obs::MetricRegistry& registry, const std::string& prefix);
 
     /// Runs the simulation until all scheduled work drains.
     void run() { sim_.run(); }

@@ -1,0 +1,79 @@
+// Multi-channel experiment runner: drives N channels of a
+// core::MultiChannelNetwork to completion — serially or on the
+// channel-sharded parallel engine — and captures every per-channel artifact
+// the byte-determinism contract covers: the metrics JSON, the trace JSONL
+// and the ledger fingerprints.
+//
+// Parity contract (tested in tests/core/multi_channel_test.cpp and gated in
+// bench/scale_channels): the serial engine (pool == nullptr) and the
+// parallel engine produce bit-identical artifacts for every channel, and a
+// fault-free 1-channel run is bit-identical to harness::run_once on the
+// same config+seed — same metrics JSON, same (untagged) trace bytes, same
+// chain/state fingerprints.  That holds because this runner mirrors
+// run_once's per-channel construction order exactly: network → tx sink →
+// audit → WorkloadDriver(Rng(channel seed ^ 0x574B4C44)) → start →
+// instrument/trace → drain → audit finalize at the last event time.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/multi_channel.h"
+#include "harness/workload.h"
+#include "obs/audit/audit.h"
+
+namespace fl::harness {
+
+struct MultiChannelSpec {
+    core::MultiChannelConfig config;
+    /// Builds the workload for channel `index` (fresh generator state per
+    /// channel).  Required.
+    std::function<Workload(std::size_t)> make_workload;
+    /// Run seed; channel i runs with core::channel_seed(seed, i).
+    std::uint64_t seed = 42;
+
+    /// Captures the per-channel metrics JSON (core::write_metrics_json).
+    bool capture_metrics_json = true;
+    /// Captures the per-channel trace JSONL.  Sinks are channel-tagged only
+    /// when the run has more than one channel, so a 1-channel capture stays
+    /// byte-identical to the single-network harness.
+    bool capture_trace = false;
+    /// Attaches a per-channel fairness audit (level weights default from
+    /// each channel's block policy, exactly like harness::run_once).
+    std::optional<obs::audit::AuditConfig> audit;
+    /// Observability hook per channel, invoked after that channel's workload
+    /// is scheduled but before the simulation drains.
+    std::function<void(core::FabricNetwork&, std::size_t)> instrument;
+};
+
+/// Everything observable about one channel of a multi-channel run.
+struct ChannelRunResult {
+    ChannelId id;
+    core::MetricsCollector metrics;
+    std::string metrics_json;  ///< when capture_metrics_json
+    std::string trace_jsonl;   ///< when capture_trace
+    std::uint64_t chain_fingerprint = 0;  ///< peer 0 block chain
+    std::uint64_t state_fingerprint = 0;  ///< peer 0 world state
+    std::uint64_t blocks = 0;
+    std::uint64_t txs_invalid = 0;
+    bool consistent = false;  ///< chains + states + OSN logs agree in-channel
+    std::optional<obs::audit::AuditReport> audit;
+};
+
+struct MultiChannelResult {
+    std::vector<ChannelRunResult> channels;
+    core::CrossChannelMeter meter;
+    std::uint64_t events_executed = 0;
+    std::uint64_t windows = 0;
+};
+
+/// Runs every channel to completion.  `pool == nullptr` selects the serial
+/// reference engine; otherwise the channel-sharded parallel engine.  The
+/// returned artifacts are byte-identical either way (DESIGN.md §16).
+[[nodiscard]] MultiChannelResult run_multi_channel(const MultiChannelSpec& spec,
+                                                   ThreadPool* pool = nullptr);
+
+}  // namespace fl::harness

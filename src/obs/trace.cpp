@@ -166,7 +166,9 @@ void TraceSink::write_chrome_json(std::ostream& os) const {
         }
     }
 
-    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    os << "{\"displayTimeUnit\":\"ms\",";
+    if (has_channel_) os << "\"channel\":" << channel_ << ',';
+    os << "\"traceEvents\":[\n";
     bool first = true;
     write_metadata(os, first, 1, "tx lifecycle");
     write_metadata(os, first, pid_of(ActorKind::kClient), "clients");
@@ -205,7 +207,9 @@ void TraceSink::write_chrome_json(std::ostream& os) const {
 
 void TraceSink::write_jsonl(std::ostream& os) const {
     for (const TraceEvent& e : events_) {
-        os << R"({"t_ns":)" << e.at.as_nanos() << R"(,"type":")" << to_string(e.type)
+        os << "{";
+        if (has_channel_) os << R"("ch":)" << channel_ << ',';
+        os << R"("t_ns":)" << e.at.as_nanos() << R"(,"type":")" << to_string(e.type)
            << R"(","actor":")" << to_string(e.actor_kind) << R"(","actor_id":)"
            << e.actor;
         if (e.tx != kNoTx) os << R"(,"tx":)" << e.tx;

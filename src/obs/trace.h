@@ -86,6 +86,18 @@ class TraceSink {
 public:
     void emit(const TraceEvent& event) { events_.push_back(event); }
 
+    /// Tags the sink with the channel its events belong to (multi-channel
+    /// runs attach one sink per channel; core/multi_channel.h).  A tagged
+    /// sink emits a "ch" field on every JSONL line and a top-level
+    /// "channel" key in the Chrome JSON; an untagged sink serializes
+    /// byte-identically to the pre-channel format.
+    void set_channel(std::uint64_t channel) {
+        channel_ = channel;
+        has_channel_ = true;
+    }
+    [[nodiscard]] bool has_channel() const { return has_channel_; }
+    [[nodiscard]] std::uint64_t channel() const { return channel_; }
+
     [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
     [[nodiscard]] std::size_t size() const { return events_.size(); }
     [[nodiscard]] bool empty() const { return events_.empty(); }
@@ -101,6 +113,8 @@ public:
 
 private:
     std::vector<TraceEvent> events_;
+    std::uint64_t channel_ = 0;
+    bool has_channel_ = false;
 };
 
 }  // namespace fl::obs

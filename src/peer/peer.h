@@ -156,6 +156,12 @@ public:
 
     // -- statistics ---------------------------------------------------------
     [[nodiscard]] std::uint64_t proposals_endorsed() const { return endorsed_; }
+    /// Cumulative simulated CPU time the endorsement station spent busy —
+    /// the per-org "shared endorser CPU" meter the multi-channel engine
+    /// aggregates across channels at window boundaries (core/multi_channel.h).
+    [[nodiscard]] Duration endorse_cpu_busy() const {
+        return endorse_cpu_.busy_time();
+    }
     [[nodiscard]] std::uint64_t blocks_committed() const { return blocks_committed_; }
     [[nodiscard]] std::uint64_t txs_valid() const { return txs_valid_; }
     [[nodiscard]] std::uint64_t txs_invalid() const { return txs_invalid_; }

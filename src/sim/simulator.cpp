@@ -35,6 +35,7 @@ bool Simulator::run_one() {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = ev.at;
+    last_event_at_ = ev.at;
     if (ev.cancelled && *ev.cancelled) {
         return false;  // cancelled timers burn no execution budget
     }

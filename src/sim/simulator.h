@@ -62,6 +62,20 @@ public:
     /// Executes the single next event; false if the queue is empty.
     bool step();
 
+    /// Timestamp of the earliest pending event, TimePoint::max() when the
+    /// queue is empty.  Lets a multi-simulator engine (core/multi_channel.h)
+    /// skip synchronization windows in which no channel has work.
+    [[nodiscard]] TimePoint next_event_time() const {
+        return queue_.empty() ? TimePoint::max() : queue_.top().at;
+    }
+
+    /// Timestamp of the most recently dequeued event — including cancelled
+    /// timer pops, so after any mix of run()/run_until() calls this equals
+    /// what now() reads after a plain run() (run_until additionally advances
+    /// the clock to its deadline; this accessor does not).  Origin if no
+    /// event was ever dequeued.
+    [[nodiscard]] TimePoint last_event_at() const { return last_event_at_; }
+
     [[nodiscard]] bool empty() const { return queue_.empty(); }
     [[nodiscard]] std::size_t pending() const { return queue_.size(); }
     [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
@@ -87,6 +101,7 @@ private:
 
     std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
     TimePoint now_;
+    TimePoint last_event_at_;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
     std::uint64_t event_limit_ = 0;
