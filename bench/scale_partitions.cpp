@@ -1,0 +1,386 @@
+// Node-group partition sweep + serial-vs-partitioned equivalence gate (A11).
+//
+// Runs the scale_state workload (Zipf-skewed asset transfers over a
+// pre-seeded account space, paper-default network) through the
+// intra-channel partitioned engine at every layout — single | roles |
+// per-node — with and without a worker pool, and byte-compares every
+// observable artifact against the serial engine: metrics JSON, trace
+// JSONL, chain/state fingerprints, block height.  Any divergence prints
+// PARTITION EQUIVALENCE VIOLATION and exits 1 — node-group partitioning
+// is an engine optimization, never an observable (DESIGN.md §17).  The
+// single-group run is additionally compared byte-for-byte against the
+// legacy path (harness::run_once) on the same seed.
+//
+// Wall-clock timings and the speedup column are host-dependent: they stay
+// on stdout plus a separate *_timing.json artifact (so the perf trajectory
+// lands in the BENCH_*.json uploads without poisoning the deterministic
+// JSON, whose bytes depend on --seed alone).  --min-speedup P turns the
+// roles-layout speedup into a gate (P in percent, 150 = 1.5x); CI only
+// passes it on runners with enough cores for the number to mean anything.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fig_common.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string hex64(std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/// Everything one run produces.  The string/fingerprint fields are the
+/// byte-identity surface; `wall` times net.run() only (construction and
+/// account seeding are identical serial work in every variant).
+struct RunCapture {
+    std::string metrics_json;
+    std::string trace_jsonl;
+    std::uint64_t chain_fp = 0;
+    std::uint64_t state_fp = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t events = 0;
+    std::uint64_t windows = 0;
+    std::size_t groups = 1;
+    bool consistent = false;
+    double wall = 0.0;  ///< host-dependent; stdout / timing JSON only
+};
+
+struct BenchSetup {
+    fl::core::NetworkConfig config;  ///< partition scheme overridden per run
+    std::uint64_t seed = 0;
+    std::uint64_t accounts = 0;
+    double theta = 0.0;
+    double total_tps = 2'000.0;  ///< well past the 500 tps knee
+    std::uint64_t txs = 0;
+};
+
+fl::harness::Workload make_workload(const BenchSetup& s) {
+    fl::harness::Workload w;
+    const std::size_t clients = s.config.clients;
+    for (std::size_t c = 0; c < clients; ++c) {
+        fl::harness::LoadSpec load;
+        load.client_index = c;
+        load.tps = s.total_tps / static_cast<double>(clients);
+        load.generate = fl::harness::zipfian_transfers(s.accounts, s.theta,
+                                                       /*mint_fraction=*/0.1);
+        w.loads.push_back(std::move(load));
+    }
+    w.distribute_total(s.txs);
+    return w;
+}
+
+/// Builds the network at `scheme`, drives the workload and captures every
+/// observable output.  Setup mirrors harness::run_once exactly (tx sink →
+/// workload start → account seeding + trace sink → run) so the single-group
+/// capture is bit-comparable against the legacy path.
+RunCapture drive(const BenchSetup& s, fl::core::PartitionScheme scheme,
+                 fl::ThreadPool* pool) {
+    fl::core::NetworkConfig cfg = s.config;
+    cfg.seed = s.seed;
+    cfg.partition.scheme = scheme;
+    fl::core::FabricNetwork net(std::move(cfg));
+
+    fl::core::MetricsCollector metrics;
+    net.set_tx_sink(
+        [&metrics](const fl::client::TxRecord& r) { metrics.record(r); });
+    fl::harness::WorkloadDriver driver(net, make_workload(s),
+                                       fl::Rng(s.seed ^ 0x574B4C44ull));
+    driver.start();
+    fl::harness::seed_scale_accounts(net, s.accounts);
+    fl::obs::TraceSink trace;
+    net.set_trace_sink(&trace);
+
+    RunCapture out;
+    const auto started = Clock::now();
+    net.run(pool);
+    out.wall = std::chrono::duration<double>(Clock::now() - started).count();
+
+    std::ostringstream ms;
+    fl::core::write_metrics_json(ms, metrics);
+    out.metrics_json = ms.str();
+    std::ostringstream ts;
+    trace.write_jsonl(ts);
+    out.trace_jsonl = ts.str();
+    out.chain_fp = net.peers().front()->chain().chain_fingerprint();
+    out.state_fp = net.peers().front()->state().fingerprint();
+    out.blocks = net.peers().front()->chain().height();
+    out.committed = metrics.committed_valid();
+    out.events = net.events_executed();
+    out.windows = net.partition_windows();
+    out.groups = net.partition_groups();
+    out.consistent = net.chains_identical() && net.states_identical() &&
+                     net.osn_blocks_identical();
+    return out;
+}
+
+/// Byte/field comparison against the serial baseline; returns human-readable
+/// divergence descriptions (empty = equivalent).  Window counts are layout
+/// properties, so they are compared at the call site (pool vs no pool of
+/// the SAME layout), not here.
+std::vector<std::string> diff_vs_baseline(const RunCapture& base,
+                                          const RunCapture& run,
+                                          const std::string& tag) {
+    std::vector<std::string> diffs;
+    if (base.metrics_json != run.metrics_json) diffs.push_back(tag + " metrics JSON");
+    if (base.trace_jsonl != run.trace_jsonl) diffs.push_back(tag + " trace JSONL");
+    if (base.chain_fp != run.chain_fp) diffs.push_back(tag + " chain fingerprint");
+    if (base.state_fp != run.state_fp) diffs.push_back(tag + " state fingerprint");
+    if (base.blocks != run.blocks) diffs.push_back(tag + " block height");
+    if (base.committed != run.committed) diffs.push_back(tag + " committed count");
+    if (base.events != run.events) diffs.push_back(tag + " event count");
+    if (!run.consistent) diffs.push_back(tag + " inconsistent replicas");
+    return diffs;
+}
+
+/// The single-group legacy gate: our drive() at PartitionScheme::kSingle
+/// must emit the exact bytes of harness::run_once on the same seed.
+std::vector<std::string> diff_vs_legacy(const RunCapture& ours,
+                                        const BenchSetup& s) {
+    fl::harness::ExperimentSpec spec;
+    spec.config = s.config;
+    spec.make_workload = [&s] { return make_workload(s); };
+    fl::obs::TraceSink sink;
+    spec.instrument = [&sink, &s](fl::core::FabricNetwork& net, unsigned) {
+        fl::harness::seed_scale_accounts(net, s.accounts);
+        net.set_trace_sink(&sink);
+    };
+    std::uint64_t chain_fp = 0;
+    std::uint64_t state_fp = 0;
+    spec.run_probe = [&](fl::core::FabricNetwork& net,
+                         std::map<std::string, double>&) {
+        chain_fp = net.peers().front()->chain().chain_fingerprint();
+        state_fp = net.peers().front()->state().fingerprint();
+    };
+    const fl::harness::RunResult legacy = fl::harness::run_once(spec, s.seed);
+
+    std::vector<std::string> diffs;
+    std::ostringstream metrics_os;
+    fl::core::write_metrics_json(metrics_os, legacy.metrics, nullptr);
+    if (ours.metrics_json != metrics_os.str()) diffs.push_back("legacy metrics JSON");
+    std::ostringstream trace_os;
+    sink.write_jsonl(trace_os);
+    if (ours.trace_jsonl != trace_os.str()) diffs.push_back("legacy trace JSONL");
+    if (ours.chain_fp != chain_fp) diffs.push_back("legacy chain fingerprint");
+    if (ours.state_fp != state_fp) diffs.push_back("legacy state fingerprint");
+    return diffs;
+}
+
+/// BENCH_x.json → BENCH_x_timing.json (same directory, so it rides the
+/// same artifact glob as the deterministic JSON).
+std::string timing_path(const std::string& json_path) {
+    const std::string suffix = ".json";
+    if (json_path.size() > suffix.size() &&
+        json_path.compare(json_path.size() - suffix.size(), suffix.size(),
+                          suffix) == 0) {
+        return json_path.substr(0, json_path.size() - suffix.size()) +
+               "_timing.json";
+    }
+    return json_path + "_timing.json";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    fl::harness::BenchFlag accounts_flag{
+        "--accounts", "--accounts N    pre-seeded account count (default 50000)",
+        50'000, /*positive=*/true};
+    fl::harness::BenchFlag zipf_flag{
+        "--zipf", "--zipf H        Zipf theta in hundredths (99 = 0.99; 0 = uniform)",
+        99, /*positive=*/false, /*max=*/99};
+    fl::harness::BenchFlag min_speedup_flag{
+        "--min-speedup",
+        "--min-speedup P require roles-layout speedup >= P percent (150 = "
+        "1.5x; default: report only)",
+        0, /*positive=*/false, /*max=*/10'000};
+    const fl::harness::SweepCli cli = fl::harness::parse_sweep_cli(
+        argc, argv, /*default_seed=*/42, "scale_partitions",
+        {&accounts_flag, &zipf_flag, &min_speedup_flag});
+
+    BenchSetup setup;
+    setup.config = fl::bench::paper_config(/*priority_enabled=*/true);
+    setup.seed = cli.base_seed;
+    setup.accounts = accounts_flag.value;
+    setup.theta = static_cast<double>(zipf_flag.value) / 100.0;
+    setup.txs = cli.txs_or(4'000);
+
+    fl::harness::print_banner(
+        std::cout, "scale_partitions: intra-channel partitioned engine",
+        "serial vs partitioned byte equivalence at every node-group layout");
+    std::cout << "accounts=" << setup.accounts << " zipf_theta=" << setup.theta
+              << " txs=" << setup.txs << " rate=" << setup.total_tps
+              << " tps\n\n";
+
+    fl::ThreadPool pool(cli.threads);
+    const unsigned pool_size = static_cast<unsigned>(pool.size());
+    const unsigned hw_threads = std::thread::hardware_concurrency();
+
+    struct Layout {
+        const char* label;
+        fl::core::PartitionScheme scheme;
+    };
+    const std::vector<Layout> layouts = {
+        {"single", fl::core::PartitionScheme::kSingle},
+        {"roles", fl::core::PartitionScheme::kRoles},
+        {"per-node", fl::core::PartitionScheme::kPerNode},
+    };
+
+    fl::harness::Table table({"layout", "groups", "windows", "committed",
+                              "blocks", "inline s*", "pooled s*", "speedup*",
+                              "equal"});
+
+    std::ostringstream json;
+    fl::JsonWriter jw(json);
+    jw.begin_object();
+    jw.field("bench", "scale_partitions");
+    jw.field("base_seed", cli.base_seed);
+    jw.field("accounts", setup.accounts);
+    jw.field("zipf_hundredths", zipf_flag.value);
+    jw.field("txs", setup.txs);
+    jw.key("points");
+    jw.begin_array();
+
+    std::ostringstream timing_json;
+    fl::JsonWriter tw(timing_json);
+    tw.begin_object();
+    tw.field("bench", "scale_partitions_timing");
+    tw.field("hardware_threads", static_cast<std::uint64_t>(hw_threads));
+    tw.field("pool_workers", static_cast<std::uint64_t>(pool_size));
+    tw.key("points");
+    tw.begin_array();
+
+    bool all_ok = true;
+    double roles_speedup = 0.0;
+    RunCapture baseline;
+    const auto started = Clock::now();
+    for (const Layout& layout : layouts) {
+        std::vector<std::string> diffs;
+        RunCapture inline_run;
+        RunCapture pooled_run;
+        double speedup = 0.0;
+        if (layout.scheme == fl::core::PartitionScheme::kSingle) {
+            // The serial engine IS the baseline; a pool changes nothing at
+            // one group, so this point runs once and gates the legacy path.
+            baseline = drive(setup, layout.scheme, nullptr);
+            inline_run = baseline;
+            pooled_run = baseline;
+            diffs = diff_vs_legacy(baseline, setup);
+        } else {
+            inline_run = drive(setup, layout.scheme, nullptr);
+            pooled_run = drive(setup, layout.scheme, &pool);
+            const std::string tag(layout.label);
+            diffs = diff_vs_baseline(baseline, inline_run, tag + "/inline");
+            const auto pooled_diffs =
+                diff_vs_baseline(baseline, pooled_run, tag + "/pooled");
+            diffs.insert(diffs.end(), pooled_diffs.begin(), pooled_diffs.end());
+            if (inline_run.windows != pooled_run.windows) {
+                diffs.push_back(tag + " window count (pool-dependent)");
+            }
+            speedup = pooled_run.wall > 0.0 ? baseline.wall / pooled_run.wall
+                                            : 0.0;
+            if (layout.scheme == fl::core::PartitionScheme::kRoles) {
+                roles_speedup = speedup;
+            }
+        }
+        for (const std::string& d : diffs) {
+            std::cout << "DIVERGENCE (" << layout.label << "): " << d << "\n";
+        }
+        const bool ok = diffs.empty();
+        all_ok = all_ok && ok;
+
+        const bool partitioned =
+            layout.scheme != fl::core::PartitionScheme::kSingle;
+        table.add_row({layout.label, std::to_string(pooled_run.groups),
+                       std::to_string(pooled_run.windows),
+                       std::to_string(pooled_run.committed),
+                       std::to_string(pooled_run.blocks),
+                       fl::harness::fmt(inline_run.wall, 2),
+                       partitioned ? fl::harness::fmt(pooled_run.wall, 2) : "-",
+                       partitioned ? fl::harness::fmt(speedup, 2) : "-",
+                       ok ? "OK" : "MISMATCH"});
+
+        jw.begin_object();
+        jw.field("layout", layout.label);
+        jw.field("groups", static_cast<std::uint64_t>(pooled_run.groups));
+        jw.field("windows", pooled_run.windows);
+        jw.field("events", pooled_run.events);
+        jw.field("committed", pooled_run.committed);
+        jw.field("blocks", pooled_run.blocks);
+        jw.field("chain_fingerprint", hex64(pooled_run.chain_fp));
+        jw.field("state_fingerprint", hex64(pooled_run.state_fp));
+        jw.field("equal", ok);
+        jw.end_object();
+
+        tw.begin_object();
+        tw.field("layout", layout.label);
+        tw.field("wall_inline_s", inline_run.wall);
+        if (partitioned) {
+            tw.field("wall_pooled_s", pooled_run.wall);
+            tw.field("speedup_vs_serial", speedup);
+        }
+        tw.end_object();
+    }
+    jw.end_array();
+    jw.end_object();
+    json << "\n";
+    tw.end_array();
+    tw.end_object();
+    timing_json << "\n";
+
+    table.print(std::cout);
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - started).count();
+    std::cout << "\n*wall-clock columns time net.run() only and are "
+                 "host-dependent (stdout + timing JSON,\nnever the primary "
+                 "JSON).  Pool: "
+              << pool_size << " worker(s), host: " << hw_threads
+              << " hardware thread(s).\n";
+    fl::harness::print_sweep_footer(std::cout, layouts.size(), pool_size, wall);
+
+    if (cli.json_enabled && !cli.json_path.empty()) {
+        std::ofstream out(cli.json_path);
+        out << json.str();
+        std::cout << "wrote " << cli.json_path << "\n";
+        const std::string tpath = timing_path(cli.json_path);
+        std::ofstream tout(tpath);
+        tout << timing_json.str();
+        std::cout << "wrote " << tpath << " (host-dependent timings)\n";
+    }
+
+    if (!all_ok) {
+        std::cout << "PARTITION EQUIVALENCE VIOLATION (see divergences above)\n";
+        return 1;
+    }
+    if (min_speedup_flag.value > 0) {
+        const double required =
+            static_cast<double>(min_speedup_flag.value) / 100.0;
+        if (roles_speedup < required) {
+            std::cout << "PARTITION SPEEDUP REGRESSION: roles layout "
+                      << fl::harness::fmt(roles_speedup, 2) << "x < required "
+                      << fl::harness::fmt(required, 2) << "x\n";
+            return 1;
+        }
+        std::cout << "speedup gate passed: roles layout "
+                  << fl::harness::fmt(roles_speedup, 2) << "x >= "
+                  << fl::harness::fmt(required, 2) << "x\n";
+    }
+    return 0;
+}

@@ -43,6 +43,10 @@ void Client::submit(std::string chaincode, std::string function,
     if (endorsers_.empty()) {
         throw std::logic_error("Client::submit before connect()");
     }
+    // Key everything this submission schedules under the client's own
+    // domain, so calls from outside the run loop (tests, workload bootstrap)
+    // produce identical event keys at every partition layout.
+    sim::DomainScope domain(sim_, node_.value());
     ledger::Proposal proposal;
     // Globally-unique tx id: client id in the high bits, sequence below.
     proposal.tx_id = TxId{(id_.value() << 40) | next_tx_seq_++};

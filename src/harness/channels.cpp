@@ -16,6 +16,12 @@ MultiChannelResult run_multi_channel(const MultiChannelSpec& spec,
     }
     core::MultiChannelConfig config = spec.config;
     config.base.seed = spec.seed;
+    if (spec.audit) {
+        // The audit accountant observes global order, so audited channels run
+        // on the serial per-channel engine.  Sound by the partition-
+        // equivalence contract: the engines are byte-identical.
+        config.base.partition = {};
+    }
     core::MultiChannelNetwork engine(std::move(config));
     const std::size_t n = engine.channel_count();
 
@@ -77,7 +83,7 @@ MultiChannelResult run_multi_channel(const MultiChannelSpec& spec,
             // run_once finalizes at Simulator::now() after run(), which lands
             // on the last executed event; the windowed engine bumps now() to
             // the window boundary, so finalize at last_event_at() for parity.
-            audits[i]->finalize(net.simulator().last_event_at());
+            audits[i]->finalize(net.last_event_at());
             ch.audit = audits[i]->report();
         }
 

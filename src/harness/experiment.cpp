@@ -8,9 +8,15 @@
 namespace fl::harness {
 
 RunResult run_once(const ExperimentSpec& spec, std::uint64_t seed,
-                   unsigned run_index) {
+                   unsigned run_index, ThreadPool* pool) {
     core::NetworkConfig config = spec.config;
     config.seed = seed;
+    if (spec.audit) {
+        // The audit accountant observes global order across every component,
+        // so audited runs use the serial engine.  Sound by the partition-
+        // equivalence contract: the engines are byte-identical.
+        config.partition = {};
+    }
     core::FabricNetwork net(config);
 
     RunResult result;
@@ -40,7 +46,7 @@ RunResult run_once(const ExperimentSpec& spec, std::uint64_t seed,
     // against an empty event queue would never fire (it only re-arms while
     // other events are pending, so the sim can drain).
     if (spec.instrument) spec.instrument(net, run_index);
-    net.run();
+    net.run(pool);
 
     if (audit) {
         audit->finalize(net.simulator().now());

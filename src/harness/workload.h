@@ -46,8 +46,11 @@ struct Workload {
     void distribute_total(std::uint64_t total);
 };
 
-/// Schedules all loads onto the network's simulator.  Keep alive until the
-/// simulation finishes.
+/// Schedules all loads onto the network.  Each load's arrival events run on
+/// its client's simulator under the client's scheduling domain, so the
+/// driver works unchanged — and byte-identically — on the partitioned
+/// engine (per-load state is only ever touched from that client's group).
+/// Keep alive until the simulation finishes.
 class WorkloadDriver {
 public:
     WorkloadDriver(core::FabricNetwork& net, Workload workload, Rng rng);
@@ -55,7 +58,7 @@ public:
     /// Begins submission at simulation time now.
     void start();
 
-    [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
+    [[nodiscard]] std::uint64_t submitted() const;
 
 private:
     void schedule_next(std::size_t load_index);
@@ -64,7 +67,8 @@ private:
     Workload workload_;
     std::vector<Rng> load_rngs_;
     std::vector<std::uint64_t> remaining_;
-    std::uint64_t submitted_ = 0;
+    /// Per-load so concurrent groups never share a counter.
+    std::vector<std::uint64_t> submitted_;
 };
 
 // -- stock transaction generators -------------------------------------------

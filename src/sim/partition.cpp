@@ -1,0 +1,135 @@
+#include "sim/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace fl::sim {
+
+PartitionSet::PartitionSet(std::vector<Simulator*> sims, Duration lookahead)
+    : sims_(std::move(sims)), lookahead_(lookahead) {
+    if (sims_.empty()) {
+        throw std::invalid_argument("PartitionSet: no simulators");
+    }
+    if (sims_.size() > 1 && lookahead_ <= Duration::zero()) {
+        throw std::invalid_argument(
+            "PartitionSet: non-positive lookahead — a zero-latency cross-group "
+            "link admits no conservative window; merge the groups or raise the "
+            "link latency");
+    }
+    out_.resize(sims_.size() * sims_.size());
+    counts_.resize(sims_.size());
+}
+
+void PartitionSet::map_domain(DomainId d, std::size_t group) {
+    if (group >= sims_.size()) {
+        throw std::out_of_range("PartitionSet: group index out of range");
+    }
+    group_of_[d] = group;
+}
+
+std::size_t PartitionSet::group_of(DomainId d) const {
+    const auto it = group_of_.find(d);
+    if (it == group_of_.end()) {
+        throw std::out_of_range("PartitionSet: unmapped domain");
+    }
+    return it->second;
+}
+
+void PartitionSet::post(std::size_t src_group, std::size_t dst_group,
+                        InterPartitionMessage msg) {
+    out_[src_group * sims_.size() + dst_group].push_back(std::move(msg));
+}
+
+void PartitionSet::flush() {
+    const std::size_t k = sims_.size();
+    for (std::size_t src = 0; src < k; ++src) {
+        for (std::size_t dst = 0; dst < k; ++dst) {
+            auto& box = out_[src * k + dst];
+            for (auto& msg : box) {
+                sims_[dst]->schedule_keyed(msg.key, msg.exec_domain, std::move(msg.fn));
+            }
+            box.clear();
+        }
+    }
+}
+
+template <typename Fn>
+void PartitionSet::for_each_group(ThreadPool* pool, Fn&& fn) {
+    const std::size_t k = sims_.size();
+    if (pool != nullptr && pool->size() > 0 && k > 1) {
+        parallel_for_each(*pool, k, fn);
+    } else {
+        for (std::size_t g = 0; g < k; ++g) fn(g);
+    }
+}
+
+std::uint64_t PartitionSet::run(ThreadPool* pool) {
+    if (sims_.size() == 1) {
+        return sims_[0]->run();
+    }
+    std::uint64_t total = 0;
+    for (;;) {
+        const TimePoint t = next_event_time();
+        if (t == TimePoint::max()) break;
+        const TimePoint window_end = t + lookahead_;
+        for_each_group(pool, [&](std::size_t g) {
+            counts_[g] = sims_[g]->run_until_before(window_end);
+        });
+        flush();
+        ++windows_;
+        for (const std::uint64_t c : counts_) total += c;
+    }
+    return total;
+}
+
+std::uint64_t PartitionSet::advance_until(TimePoint end, ThreadPool* pool) {
+    if (sims_.size() == 1) {
+        return sims_[0]->run_until(end);
+    }
+    std::uint64_t total = 0;
+    for (;;) {
+        const TimePoint t = next_event_time();
+        if (t >= end) break;
+        const TimePoint window_end = std::min(t + lookahead_, end);
+        for_each_group(pool, [&](std::size_t g) {
+            counts_[g] = sims_[g]->run_until_before(window_end);
+        });
+        flush();
+        ++windows_;
+        for (const std::uint64_t c : counts_) total += c;
+    }
+    // Close the outer window inclusively: events AT `end` are safe to run in
+    // parallel (their cross-group sends land >= end + L, beyond the window),
+    // and every clock must finish at `end` exactly like Simulator::run_until.
+    for_each_group(pool, [&](std::size_t g) {
+        counts_[g] = sims_[g]->run_until(end);
+    });
+    flush();
+    for (const std::uint64_t c : counts_) total += c;
+    return total;
+}
+
+TimePoint PartitionSet::next_event_time() {
+    // Setup code (component construction, workload bootstrap) sends before
+    // any run loop exists; surface those outbox messages before looking at
+    // the heaps.  Only ever called between windows, so this is safe.
+    flush();
+    TimePoint earliest = TimePoint::max();
+    for (Simulator* sim : sims_) {
+        earliest = std::min(earliest, sim->next_event_time());
+    }
+    return earliest;
+}
+
+TimePoint PartitionSet::last_event_at() const {
+    TimePoint latest = TimePoint::origin();
+    for (const Simulator* sim : sims_) {
+        latest = std::max(latest, sim->last_event_at());
+    }
+    return latest;
+}
+
+}  // namespace fl::sim

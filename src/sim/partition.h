@@ -1,0 +1,117 @@
+// Node-group partitioned conservative-PDES engine.
+//
+// A PartitionSet advances K simulators — one per node group of a single
+// channel — inside conservative synchronization windows of width L, the
+// *lookahead*: the guaranteed minimum cross-group network latency.  Within
+// a window [T, T+L) every group only executes events it already owns; any
+// message a group sends to another group carries a timestamp >= t_send + L
+// >= T + L, i.e. it lands strictly beyond the window, so no group can
+// receive an event "from the past" and the windows are causally safe.
+//
+// Cross-group sends are posted as timestamped inter-partition messages into
+// per-(source, destination) outboxes (each written only by the source
+// group's worker) and flushed into the destination simulators at the window
+// barrier.  Each message carries the EventKey allocated at the *sender*
+// (sim/simulator.h), and every simulator pops in EventKey order, so the
+// merged execution is the exact serial order: timestamp first, then the
+// stable (scheduling domain, per-domain sequence) tiebreak.  Equal-time
+// messages from different source groups therefore interleave exactly as
+// the single-simulator engine would interleave them.
+//
+// With one group the engine degenerates to the plain simulator loop
+// (bit-identical to Simulator::run / run_until); with K groups the result
+// is byte-identical at any window placement, worker count, or layout.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace fl {
+class ThreadPool;
+}  // namespace fl
+
+namespace fl::sim {
+
+/// A cross-partition event: key allocated at the sender, executing domain
+/// (the destination node) installed by the receiving simulator's run loop.
+struct InterPartitionMessage {
+    EventKey key;
+    DomainId exec_domain = 0;
+    EventFn fn;
+};
+
+class PartitionSet {
+public:
+    /// `sims` are borrowed (owned by the caller, e.g. core::FabricNetwork).
+    /// `lookahead` must be positive when there is more than one group —
+    /// a zero-latency cross-group link admits no conservative window.
+    PartitionSet(std::vector<Simulator*> sims, Duration lookahead);
+
+    PartitionSet(const PartitionSet&) = delete;
+    PartitionSet& operator=(const PartitionSet&) = delete;
+
+    /// Registers a scheduling domain (node) as belonging to `group`.
+    void map_domain(DomainId d, std::size_t group);
+
+    [[nodiscard]] std::size_t group_count() const { return sims_.size(); }
+    [[nodiscard]] Duration lookahead() const { return lookahead_; }
+
+    /// Group owning domain `d`; throws std::out_of_range if unmapped.
+    [[nodiscard]] std::size_t group_of(DomainId d) const;
+
+    /// True when `d` has been mapped.
+    [[nodiscard]] bool has_domain(DomainId d) const {
+        return group_of_.find(d) != group_of_.end();
+    }
+
+    [[nodiscard]] Simulator& sim_of_group(std::size_t group) { return *sims_[group]; }
+    [[nodiscard]] Simulator& sim_of(DomainId d) { return *sims_[group_of(d)]; }
+
+    /// Posts a cross-group message from `src_group`'s worker.  Safe to call
+    /// concurrently from distinct source groups (each (src, dst) outbox has
+    /// a single writer per window); delivered at the next flush barrier.
+    void post(std::size_t src_group, std::size_t dst_group, InterPartitionMessage msg);
+
+    /// Drains every queue and outbox.  Returns executed-event count.
+    std::uint64_t run(ThreadPool* pool);
+
+    /// Runs all groups up to and including `end` (clocks advance to `end`,
+    /// mirroring Simulator::run_until) in conservative windows.  Returns
+    /// executed-event count.  Outboxes are empty on return.
+    std::uint64_t advance_until(TimePoint end, ThreadPool* pool);
+
+    /// Earliest live pending event across groups (TimePoint::max() if none).
+    /// Prunes cancelled heads like Simulator::next_event_time.
+    [[nodiscard]] TimePoint next_event_time();
+
+    /// Latest dequeued-event timestamp across groups.
+    [[nodiscard]] TimePoint last_event_at() const;
+
+    /// Number of synchronization windows executed so far.
+    [[nodiscard]] std::uint64_t windows() const { return windows_; }
+
+private:
+    /// Delivers all outbox messages into their destination simulators.
+    /// Single-threaded (barrier); per-heap key order makes delivery order
+    /// irrelevant to execution order.
+    void flush();
+
+    /// Runs `fn(group)` for every group — on pool workers when a usable
+    /// pool is supplied, serially otherwise.  `fn` must be thread-safe
+    /// across distinct groups.
+    template <typename Fn>
+    void for_each_group(ThreadPool* pool, Fn&& fn);
+
+    std::vector<Simulator*> sims_;
+    Duration lookahead_;
+    std::unordered_map<DomainId, std::size_t> group_of_;
+    std::vector<std::vector<InterPartitionMessage>> out_;  // [src * K + dst]
+    std::vector<std::uint64_t> counts_;                    // per-group scratch
+    std::uint64_t windows_ = 0;
+};
+
+}  // namespace fl::sim

@@ -12,9 +12,14 @@ bool TimerHandle::active() const {
     return cancelled_ && !*cancelled_;
 }
 
+void Simulator::set_domain(DomainId d) {
+    current_domain_ = d;
+    current_seq_ = &domain_seq_[d];  // unordered_map values are pointer-stable
+}
+
 void Simulator::schedule_at(TimePoint t, EventFn fn) {
     if (t < now_) t = now_;
-    queue_.push(Event{t, next_seq_++, std::move(fn), nullptr});
+    queue_.push(Event{make_key(t), current_domain_, std::move(fn), nullptr});
 }
 
 void Simulator::schedule_after(Duration delay, EventFn fn) {
@@ -25,8 +30,16 @@ void Simulator::schedule_after(Duration delay, EventFn fn) {
 TimerHandle Simulator::schedule_timer(Duration delay, EventFn fn) {
     if (delay < Duration::zero()) delay = Duration::zero();
     auto cancelled = std::make_shared<bool>(false);
-    queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), cancelled});
+    queue_.push(Event{make_key(now_ + delay), current_domain_, std::move(fn), cancelled});
     return TimerHandle{std::move(cancelled)};
+}
+
+void Simulator::schedule_keyed(EventKey key, DomainId exec_domain, EventFn fn) {
+    if (key.at < now_) {
+        throw std::logic_error(
+            "Simulator: keyed event in the past (lookahead violation?)");
+    }
+    queue_.push(Event{key, exec_domain, std::move(fn), nullptr});
 }
 
 bool Simulator::run_one() {
@@ -34,14 +47,16 @@ bool Simulator::run_one() {
     // schedule new events (mutating the queue).
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    now_ = ev.at;
-    last_event_at_ = ev.at;
+    now_ = ev.key.at;
+    last_event_at_ = ev.key.at;
     if (ev.cancelled && *ev.cancelled) {
         return false;  // cancelled timers burn no execution budget
     }
     if (ev.cancelled) {
         *ev.cancelled = true;  // a fired timer is no longer active
     }
+    current_key_ = ev.key;
+    set_domain(ev.exec_domain);
     ev.fn();
     ++executed_;
     if (event_limit_ != 0 && executed_ > event_limit_) {
@@ -60,10 +75,18 @@ std::uint64_t Simulator::run() {
 
 std::uint64_t Simulator::run_until(TimePoint deadline) {
     std::uint64_t n = 0;
-    while (!queue_.empty() && queue_.top().at <= deadline) {
+    while (!queue_.empty() && queue_.top().key.at <= deadline) {
         if (run_one()) ++n;
     }
     if (now_ < deadline) now_ = deadline;
+    return n;
+}
+
+std::uint64_t Simulator::run_until_before(TimePoint end) {
+    std::uint64_t n = 0;
+    while (!queue_.empty() && queue_.top().key.at < end) {
+        if (run_one()) ++n;
+    }
     return n;
 }
 
@@ -72,6 +95,23 @@ bool Simulator::step() {
         if (run_one()) return true;  // skip cancelled entries
     }
     return false;
+}
+
+TimePoint Simulator::next_event_time() {
+    while (!queue_.empty()) {
+        const Event& top = queue_.top();
+        if (!(top.cancelled && *top.cancelled)) return top.key.at;
+        // Dead entry: discard it, but only remember its time for the
+        // last_event_at() accessor (where run_one's cancelled pop would have
+        // landed it — that feeds e.g. audit finalization).  The execution
+        // clock must NOT move: in a partitioned run this peek can happen
+        // while the group lags global time, and a cancelled timer far in the
+        // future must not make later (causally legal) cross-group deliveries
+        // look like they are in the past.
+        pruned_to_ = std::max(pruned_to_, top.key.at);
+        queue_.pop();
+    }
+    return TimePoint::max();
 }
 
 }  // namespace fl::sim

@@ -1,22 +1,49 @@
-// Deterministic single-threaded discrete-event simulator.
+// Deterministic discrete-event simulator with partition-stable event keys.
 //
 // Every component of the blockchain network (clients, peers, OSNs, the mq
-// broker) runs as callbacks scheduled on one virtual clock.  Events at equal
-// timestamps fire in scheduling order (a monotonic sequence number breaks
-// ties), so a given seed always reproduces the identical execution.
+// broker) runs as callbacks scheduled on one virtual clock.  Events are
+// ordered by an `EventKey` (timestamp, scheduling domain, per-domain
+// sequence number).  A *domain* is the logical node a callback runs on
+// behalf of; every event scheduled while that callback executes is keyed
+// under the executing domain, and each domain has its own monotonic
+// sequence counter.  Because a domain's counter only advances while that
+// domain executes, the key assigned to any event is independent of how the
+// node set is partitioned across simulators — which is what lets the
+// node-group partitioned engine (sim/partition.h) replay the exact serial
+// execution order from concurrently-advanced per-group simulators.  With a
+// single domain (the default, domain 0), keys degenerate to (time, schedule
+// order): ties fire in scheduling order exactly as before.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "common/time.h"
+#include "sim/small_fn.h"
 
 namespace fl::sim {
 
-using EventFn = std::function<void()>;
+using EventFn = SmallFn;
+
+/// Logical scheduling domain.  The fabric layer uses the component's
+/// NodeId value; standalone simulator users can ignore domains entirely.
+using DomainId = std::uint64_t;
+
+/// Global total order over events: (timestamp, scheduling domain,
+/// per-domain sequence).  Keys are unique across an entire run — equal
+/// (at, domain) pairs differ in seq — and are assigned identically no
+/// matter how domains are partitioned across simulators.
+struct EventKey {
+    TimePoint at;
+    DomainId domain = 0;
+    std::uint64_t seq = 0;
+
+    constexpr auto operator<=>(const EventKey&) const = default;
+};
 
 /// Handle for a cancellable scheduled event (e.g. a block-cut timer that is
 /// disarmed when the block fills up early).  Cheap to copy; cancelling an
@@ -37,7 +64,7 @@ private:
 
 class Simulator {
 public:
-    Simulator() = default;
+    Simulator() { set_domain(0); }
     Simulator(const Simulator&) = delete;
     Simulator& operator=(const Simulator&) = delete;
 
@@ -52,6 +79,28 @@ public:
     /// Schedules a cancellable event.
     TimerHandle schedule_timer(Duration delay, EventFn fn);
 
+    /// Allocates the key the next event scheduled at `t` under the current
+    /// domain would get (advances the domain's sequence counter).  Used by
+    /// the network layer to stamp cross-partition messages at the sender so
+    /// the receiver reproduces the serial merge order.
+    [[nodiscard]] EventKey make_key(TimePoint t) {
+        return EventKey{t, current_domain_, (*current_seq_)++};
+    }
+
+    /// Enqueues an event with a caller-provided key (from `make_key`, on
+    /// this or another simulator).  `exec_domain` becomes the scheduling
+    /// domain while `fn` runs.  `key.at` must be >= now().
+    void schedule_keyed(EventKey key, DomainId exec_domain, EventFn fn);
+
+    /// Sets the scheduling domain for subsequently scheduled events.  The
+    /// executing event's domain is installed automatically by the run loop;
+    /// setup code uses DomainScope to tag construction-time schedules.
+    void set_domain(DomainId d);
+    [[nodiscard]] DomainId domain() const { return current_domain_; }
+
+    /// Key of the event currently executing (valid inside a callback).
+    [[nodiscard]] const EventKey& current_key() const { return current_key_; }
+
     /// Runs until the event queue drains.  Returns the number of events run.
     std::uint64_t run();
 
@@ -59,22 +108,33 @@ public:
     /// the queue drained earlier.  Returns the number of events run.
     std::uint64_t run_until(TimePoint deadline);
 
+    /// Runs events with time strictly < `end` and does NOT advance the
+    /// clock to `end` — the conservative-window body for the partitioned
+    /// engine, which closes each outer window with an inclusive run_until.
+    std::uint64_t run_until_before(TimePoint end);
+
     /// Executes the single next event; false if the queue is empty.
     bool step();
 
-    /// Timestamp of the earliest pending event, TimePoint::max() when the
-    /// queue is empty.  Lets a multi-simulator engine (core/multi_channel.h)
-    /// skip synchronization windows in which no channel has work.
-    [[nodiscard]] TimePoint next_event_time() const {
-        return queue_.empty() ? TimePoint::max() : queue_.top().at;
-    }
+    /// Timestamp of the earliest *live* pending event, TimePoint::max()
+    /// when the queue is empty.  Cancelled timers at the head are pruned,
+    /// so a dead timer can neither block the multi-simulator empty-window
+    /// fast path nor poison lookahead-based window placement.  Pruning
+    /// never touches the execution clock: a partitioned group may be peeked
+    /// while it lags global time, and cancelled entries far in its future
+    /// (e.g. superseded heartbeat timers) must not fast-forward now() past
+    /// deliveries other groups are still allowed to make.  Pruned times are
+    /// folded into last_event_at() instead.
+    [[nodiscard]] TimePoint next_event_time();
 
     /// Timestamp of the most recently dequeued event — including cancelled
-    /// timer pops, so after any mix of run()/run_until() calls this equals
-    /// what now() reads after a plain run() (run_until additionally advances
-    /// the clock to its deadline; this accessor does not).  Origin if no
-    /// event was ever dequeued.
-    [[nodiscard]] TimePoint last_event_at() const { return last_event_at_; }
+    /// timer pops and prunes, so after any mix of run()/run_until()/
+    /// next_event_time() calls this equals what now() reads after a plain
+    /// run() (run_until additionally advances the clock to its deadline;
+    /// this accessor does not).  Origin if no event was ever dequeued.
+    [[nodiscard]] TimePoint last_event_at() const {
+        return std::max(last_event_at_, pruned_to_);
+    }
 
     [[nodiscard]] bool empty() const { return queue_.empty(); }
     [[nodiscard]] std::size_t pending() const { return queue_.size(); }
@@ -85,15 +145,14 @@ public:
 
 private:
     struct Event {
-        TimePoint at;
-        std::uint64_t seq = 0;
+        EventKey key;
+        DomainId exec_domain = 0;
         EventFn fn;
         std::shared_ptr<bool> cancelled;  // may be null
 
-        // Min-heap order: earliest time first, then earliest scheduled.
+        // Min-heap order: lexicographic on (at, domain, seq).
         friend bool operator>(const Event& a, const Event& b) {
-            if (a.at != b.at) return a.at > b.at;
-            return a.seq > b.seq;
+            return b.key < a.key;
         }
     };
 
@@ -102,9 +161,30 @@ private:
     std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
     TimePoint now_;
     TimePoint last_event_at_;
-    std::uint64_t next_seq_ = 0;
+    TimePoint pruned_to_;  ///< latest cancelled entry discarded by a peek
+    EventKey current_key_;
+    DomainId current_domain_ = 0;
+    std::uint64_t* current_seq_ = nullptr;  // cached &domain_seq_[current_domain_]
+    std::unordered_map<DomainId, std::uint64_t> domain_seq_;
     std::uint64_t executed_ = 0;
     std::uint64_t event_limit_ = 0;
+};
+
+/// RAII scheduling-domain tag for setup code (component construction,
+/// workload bootstrap): events scheduled inside the scope are keyed under
+/// `d`, making bootstrap keys identical across partition layouts.
+class DomainScope {
+public:
+    DomainScope(Simulator& sim, DomainId d) : sim_(sim), prev_(sim.domain()) {
+        sim_.set_domain(d);
+    }
+    ~DomainScope() { sim_.set_domain(prev_); }
+    DomainScope(const DomainScope&) = delete;
+    DomainScope& operator=(const DomainScope&) = delete;
+
+private:
+    Simulator& sim_;
+    DomainId prev_;
 };
 
 }  // namespace fl::sim

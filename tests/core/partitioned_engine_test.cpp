@@ -1,0 +1,291 @@
+// Serial-vs-partitioned engine equivalence (DESIGN.md §17).
+//
+// The partitioned engine's contract is byte-identity: at ANY partition
+// layout, window stepping and worker count, a run produces exactly the
+// serial engine's output — trace JSONL, transaction-record stream (content
+// AND sink order), metrics JSON, chain/state fingerprints.  These tests pin
+// that contract over full networks (both ordering backends, with and
+// without component faults); unit tests for the window algebra itself live
+// in tests/sim/partition_test.cpp.
+#include "core/fabric_network.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/metrics.h"
+#include "harness/workload.h"
+#include "obs/audit/audit.h"
+#include "obs/trace.h"
+
+namespace fl::core {
+namespace {
+
+NetworkConfig small_config(std::uint64_t seed, PartitionScheme scheme) {
+    NetworkConfig cfg;
+    cfg.orgs = 2;
+    cfg.peers_per_org = 1;
+    cfg.osns = 2;
+    cfg.clients = 2;
+    cfg.seed = seed;
+    cfg.partition.scheme = scheme;
+    return cfg;
+}
+
+harness::Workload small_workload(std::uint32_t clients, std::uint64_t total) {
+    harness::Workload wl;
+    for (std::uint32_t c = 0; c < clients; ++c) {
+        harness::LoadSpec load;
+        load.client_index = c;
+        load.tps = 400.0;
+        load.generate = harness::priority_class_mix({1, 2, 1});
+        wl.loads.push_back(std::move(load));
+    }
+    wl.distribute_total(total);
+    return wl;
+}
+
+/// Everything observable about one run, for byte-for-byte comparison.
+struct RunOutput {
+    std::string trace_jsonl;
+    std::string tx_log;  ///< serialized TxRecords in sink-callback order
+    std::string metrics_json;
+    std::uint64_t chain_fp = 0;
+    std::uint64_t state_fp = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t faults = 0;
+    std::size_t groups = 0;
+    bool consistent = false;
+
+    friend bool operator==(const RunOutput&, const RunOutput&) = default;
+};
+
+/// Builds a network, drives the standard workload and captures every
+/// observable output.  `step` > 0 drains via repeated advance_until windows
+/// of that size instead of run() — output must not depend on the stepping.
+RunOutput drive(NetworkConfig cfg, ThreadPool* pool = nullptr,
+                std::uint64_t total_txs = 240,
+                Duration step = Duration::zero()) {
+    FabricNetwork net(std::move(cfg));
+    MetricsCollector metrics;
+    std::ostringstream txlog;
+    net.set_tx_sink([&](const client::TxRecord& r) {
+        metrics.record(r);
+        txlog << r.tx_id.value() << ' ' << r.client.value() << ' ' << r.chaincode
+              << ' ' << static_cast<int>(r.priority) << ' '
+              << r.submitted_at.as_nanos() << ' ' << r.broadcast_at.as_nanos()
+              << ' ' << r.block_cut_at.as_nanos() << ' '
+              << r.committed_at.as_nanos() << ' ' << r.completed_at.as_nanos()
+              << ' ' << static_cast<int>(r.code) << ' ' << r.failed_before_ordering
+              << ' ' << r.endorse_retries << ' ' << r.resubmissions << '\n';
+    });
+    obs::TraceSink trace;
+    net.set_trace_sink(&trace);
+
+    harness::WorkloadDriver driver(
+        net, small_workload(net.config().clients, total_txs),
+        Rng(net.config().seed ^ 0x574B4C44ull));
+    driver.start();
+
+    if (step > Duration::zero()) {
+        TimePoint at = TimePoint::origin();
+        while (net.next_event_time() != TimePoint::max()) {
+            at = at + step;
+            net.advance_until(at, pool);
+        }
+    } else {
+        net.run(pool);
+    }
+
+    RunOutput out;
+    std::ostringstream ts;
+    trace.write_jsonl(ts);
+    out.trace_jsonl = ts.str();
+    out.tx_log = txlog.str();
+    std::ostringstream ms;
+    write_metrics_json(ms, metrics);
+    out.metrics_json = ms.str();
+    out.chain_fp = net.peers().front()->chain().chain_fingerprint();
+    out.state_fp = net.peers().front()->state().fingerprint();
+    out.blocks = net.peers().front()->chain().height();
+    out.submitted = driver.submitted();
+    out.faults = net.faults_applied();
+    out.groups = net.partition_groups();
+    out.consistent = net.chains_identical() && net.states_identical() &&
+                     net.osn_blocks_identical();
+    return out;
+}
+
+void expect_identical(const RunOutput& serial, const RunOutput& part) {
+    // Field-by-field first so a mismatch names the diverging artifact.
+    EXPECT_EQ(serial.trace_jsonl, part.trace_jsonl);
+    EXPECT_EQ(serial.tx_log, part.tx_log);
+    EXPECT_EQ(serial.metrics_json, part.metrics_json);
+    EXPECT_EQ(serial.chain_fp, part.chain_fp);
+    EXPECT_EQ(serial.state_fp, part.state_fp);
+    EXPECT_EQ(serial.blocks, part.blocks);
+    EXPECT_EQ(serial.submitted, part.submitted);
+    EXPECT_EQ(serial.faults, part.faults);
+    EXPECT_TRUE(serial.consistent);
+    EXPECT_TRUE(part.consistent);
+}
+
+TEST(PartitionedEngineTest, DefaultConfigRunsSerialEngine) {
+    NetworkConfig cfg = small_config(1, PartitionScheme::kSingle);
+    FabricNetwork net(cfg);
+    EXPECT_EQ(net.partition_groups(), 1u);
+    EXPECT_NO_THROW(net.simulator());
+    EXPECT_EQ(net.partition_windows(), 0u);
+}
+
+TEST(PartitionedEngineTest, RolesLayoutMatchesSerialByteForByte) {
+    for (const std::uint64_t seed : {1ull, 42ull}) {
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        const RunOutput serial = drive(small_config(seed, PartitionScheme::kSingle));
+        const RunOutput part = drive(small_config(seed, PartitionScheme::kRoles));
+        EXPECT_EQ(serial.groups, 1u);
+        // clients | org0 | org1 | ordering
+        EXPECT_EQ(part.groups, 4u);
+        expect_identical(serial, part);
+    }
+}
+
+TEST(PartitionedEngineTest, PerNodeLayoutMatchesSerial) {
+    const RunOutput serial = drive(small_config(7, PartitionScheme::kSingle));
+    const RunOutput part = drive(small_config(7, PartitionScheme::kPerNode));
+    // 2 clients + 2 peers + ordering
+    EXPECT_EQ(part.groups, 5u);
+    expect_identical(serial, part);
+}
+
+TEST(PartitionedEngineTest, WorkerThreadsDoNotChangeOutput) {
+    ThreadPool pool(4);
+    const RunOutput inline_run = drive(small_config(1234, PartitionScheme::kRoles));
+    const RunOutput pooled_run =
+        drive(small_config(1234, PartitionScheme::kRoles), &pool);
+    EXPECT_EQ(inline_run, pooled_run);
+}
+
+TEST(PartitionedEngineTest, WindowSteppingDoesNotChangeOutput) {
+    // advance_until at arbitrary external boundaries (the multi-channel
+    // engine's drive mode) must equal a single run() drain.
+    const RunOutput whole = drive(small_config(42, PartitionScheme::kRoles));
+    const RunOutput fine = drive(small_config(42, PartitionScheme::kRoles),
+                                 nullptr, 240, Duration::millis(3));
+    const RunOutput coarse = drive(small_config(42, PartitionScheme::kRoles),
+                                   nullptr, 240, Duration::millis(97));
+    EXPECT_EQ(whole, fine);
+    EXPECT_EQ(whole, coarse);
+}
+
+TEST(PartitionedEngineTest, CustomLayoutMatchesSerial) {
+    NetworkConfig cfg = small_config(42, PartitionScheme::kCustom);
+    // Irregular split: client 0 + org-0 peer | client 1 | ordering + org-1
+    // peer.  Ordering only has to be together, not alone.
+    cfg.partition.groups = {
+        {kClientNodeBase + 0, 0}, {kPeerNodeBase + 0, 0},
+        {kClientNodeBase + 1, 1},
+        {kPeerNodeBase + 1, 2},   {kOsnNodeBase + 0, 2},
+        {kOsnNodeBase + 1, 2},    {kBrokerNode, 2},
+    };
+    const RunOutput part = drive(std::move(cfg));
+    EXPECT_EQ(part.groups, 3u);
+    const RunOutput serial = drive(small_config(42, PartitionScheme::kSingle));
+    expect_identical(serial, part);
+}
+
+TEST(PartitionedEngineTest, CustomLayoutValidation) {
+    {  // missing node assignment
+        NetworkConfig cfg = small_config(1, PartitionScheme::kCustom);
+        cfg.partition.groups = {{kClientNodeBase, 0}};
+        EXPECT_THROW(FabricNetwork net(cfg), std::invalid_argument);
+    }
+    {  // ordering service split across groups
+        NetworkConfig cfg = small_config(1, PartitionScheme::kCustom);
+        for (std::uint64_t c = 0; c < 2; ++c) cfg.partition.groups[kClientNodeBase + c] = 0;
+        for (std::uint64_t p = 0; p < 2; ++p) cfg.partition.groups[kPeerNodeBase + p] = 0;
+        cfg.partition.groups[kOsnNodeBase + 0] = 1;
+        cfg.partition.groups[kOsnNodeBase + 1] = 2;
+        cfg.partition.groups[kBrokerNode] = 1;
+        EXPECT_THROW(FabricNetwork net(cfg), std::invalid_argument);
+    }
+    {  // non-contiguous group indices
+        NetworkConfig cfg = small_config(1, PartitionScheme::kCustom);
+        for (std::uint64_t c = 0; c < 2; ++c) cfg.partition.groups[kClientNodeBase + c] = 0;
+        for (std::uint64_t p = 0; p < 2; ++p) cfg.partition.groups[kPeerNodeBase + p] = 0;
+        cfg.partition.groups[kOsnNodeBase + 0] = 5;
+        cfg.partition.groups[kOsnNodeBase + 1] = 5;
+        cfg.partition.groups[kBrokerNode] = 5;
+        EXPECT_THROW(FabricNetwork net(cfg), std::invalid_argument);
+    }
+}
+
+TEST(PartitionedEngineTest, ComponentFaultScheduleMatchesSerial) {
+    const auto with_faults = [](PartitionScheme scheme) {
+        NetworkConfig cfg = small_config(42, scheme);
+        cfg.faults.schedule = {
+            {Duration::millis(50), fault::FaultKind::kOsnCrash, 1},
+            {Duration::millis(100), fault::FaultKind::kEndorserSlow, 0, 4.0},
+            {Duration::millis(300), fault::FaultKind::kOsnRestart, 1},
+            {Duration::millis(400), fault::FaultKind::kEndorserNormal, 0},
+        };
+        return cfg;
+    };
+    const RunOutput serial = drive(with_faults(PartitionScheme::kSingle));
+    const RunOutput part = drive(with_faults(PartitionScheme::kPerNode));
+    EXPECT_EQ(serial.faults, 4u);
+    EXPECT_GT(part.groups, 1u);
+    expect_identical(serial, part);
+}
+
+TEST(PartitionedEngineTest, RaftBackendMatchesSerial) {
+    const auto raft_cfg = [](PartitionScheme scheme) {
+        NetworkConfig cfg = small_config(7, scheme);
+        cfg.ordering_backend = orderer::OrderingBackendKind::kRaft;
+        return cfg;
+    };
+    const RunOutput serial = drive(raft_cfg(PartitionScheme::kSingle), nullptr, 120);
+    const RunOutput part = drive(raft_cfg(PartitionScheme::kRoles), nullptr, 120);
+    EXPECT_GT(part.groups, 1u);
+    expect_identical(serial, part);
+}
+
+TEST(PartitionedEngineTest, MessageFaultsDemoteToSerialEngine) {
+    // Per-message fault draws consume one shared rng stream in global send
+    // order — unsafe across concurrent groups, so the build demotes to the
+    // serial engine rather than silently diverging.
+    NetworkConfig cfg = small_config(1, PartitionScheme::kRoles);
+    cfg.faults.messages.drop_prob = 0.01;
+    FabricNetwork net(cfg);
+    EXPECT_EQ(net.partition_groups(), 1u);
+    EXPECT_NO_THROW(net.simulator());
+}
+
+TEST(PartitionedEngineTest, MultiGroupRejectsGlobalOrderObservers) {
+    FabricNetwork net(small_config(1, PartitionScheme::kRoles));
+    ASSERT_GT(net.partition_groups(), 1u);
+    EXPECT_THROW(net.simulator(), std::logic_error);
+    obs::audit::AuditAccountant audit{obs::audit::AuditConfig{}};
+    EXPECT_THROW(net.set_audit(&audit), std::logic_error);
+}
+
+TEST(PartitionedEngineTest, LookaheadIsPositiveAndWindowsAdvance) {
+    FabricNetwork net(small_config(1, PartitionScheme::kRoles));
+    EXPECT_GT(net.lookahead(), Duration::zero());
+    harness::WorkloadDriver driver(net, small_workload(2, 40),
+                                   Rng(net.config().seed ^ 0x574B4C44ull));
+    driver.start();
+    net.run(nullptr);
+    EXPECT_GT(net.partition_windows(), 0u);
+    EXPECT_GT(net.events_executed(), 0u);
+}
+
+}  // namespace
+}  // namespace fl::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <tuple>
 #include <vector>
 
 namespace fl::sim {
@@ -154,6 +156,53 @@ TEST(SimulatorTest, PendingCount) {
     sim.schedule_after(Duration::millis(1), [] {});
     sim.schedule_after(Duration::millis(2), [] {});
     EXPECT_EQ(sim.pending(), 2u);
+}
+
+TEST(SimulatorTest, NextEventTimeReportsEarliestLiveEvent) {
+    Simulator sim;
+    EXPECT_EQ(sim.next_event_time(), TimePoint::max());
+    sim.schedule_after(Duration::millis(10), [] {});
+    sim.schedule_after(Duration::millis(3), [] {});
+    EXPECT_EQ(sim.next_event_time(), TimePoint::origin() + Duration::millis(3));
+}
+
+TEST(SimulatorTest, NextEventTimeSkipsCancelledHead) {
+    // Regression: a cancelled timer sitting at the queue head used to be
+    // reported as the next event time, making engines wait on (or cut
+    // windows around) an event that would never run.
+    Simulator sim;
+    TimerHandle h = sim.schedule_timer(Duration::millis(5), [] {});
+    sim.schedule_after(Duration::millis(10), [] {});
+    h.cancel();
+    EXPECT_EQ(sim.next_event_time(), TimePoint::origin() + Duration::millis(10));
+    EXPECT_EQ(sim.run(), 1u);
+}
+
+TEST(SimulatorTest, NextEventTimeAllCancelledReportsIdle) {
+    Simulator sim;
+    TimerHandle a = sim.schedule_timer(Duration::millis(1), [] {});
+    TimerHandle b = sim.schedule_timer(Duration::millis(2), [] {});
+    a.cancel();
+    b.cancel();
+    EXPECT_EQ(sim.next_event_time(), TimePoint::max());
+    EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(SimulatorTest, NextEventTimePrunePreservesRunSemantics) {
+    // Pruning mirrors run_one's cancelled-pop bookkeeping, so peeking the
+    // next event time before running changes nothing observable.
+    const auto drive = [](bool peek) {
+        Simulator sim;
+        TimerHandle h = sim.schedule_timer(Duration::millis(3), [] {});
+        sim.schedule_after(Duration::millis(8), [] {});
+        h.cancel();
+        if (peek) {
+            (void)sim.next_event_time();
+        }
+        const std::uint64_t executed = sim.run();
+        return std::tuple{executed, sim.now(), sim.last_event_at()};
+    };
+    EXPECT_EQ(drive(true), drive(false));
 }
 
 }  // namespace
